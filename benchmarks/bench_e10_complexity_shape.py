@@ -1,0 +1,54 @@
+"""E10: the complexity shape behind the PSPACE / EXPSPACE split.
+
+Theorem 3.4: PSPACE-complete for schemas with a fixed arity bound,
+EXPSPACE otherwise.  The explicit-state realization shows the shape on
+two axes:
+
+* fixed arity, growing spec (relay chains): cost grows polynomially with
+  the number of peers;
+* growing arity (wide peers): the space of rows -- and with it the state
+  space -- grows exponentially in the arity.
+
+The printed state counts are the series EXPERIMENTS.md tabulates.
+"""
+
+import pytest
+
+from repro.library.synthetic import (
+    chain_databases, chain_safety_property, relay_chain, wide_databases,
+    wide_peer, wide_safety_property,
+)
+from repro.verifier import verification_domain, verify
+
+from harness import record
+
+
+@pytest.mark.parametrize("n_relays", [0, 1, 2, 3, 4])
+def test_fixed_arity_growing_spec(benchmark, n_relays):
+    composition = relay_chain(n_relays)
+    databases = chain_databases(n_relays)
+    domain = verification_domain(composition, [], databases,
+                                 fresh_count=1)
+
+    def run():
+        return verify(composition, chain_safety_property(n_relays),
+                      databases, domain=domain)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E10", f"fixed arity, {n_relays + 2} peers", result, True)
+
+
+@pytest.mark.parametrize("arity", [1, 2, 3, 4])
+def test_growing_arity(benchmark, arity):
+    composition = wide_peer(arity)
+    databases = wide_databases(arity, rows=2)
+    domain = verification_domain(composition, [], databases,
+                                 fresh_count=1)
+
+    def run():
+        return verify(composition, wide_safety_property(arity), databases,
+                      domain=domain)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E10", f"arity sweep: arity={arity}, "
+                  f"domain={len(domain.values)}", result, True)

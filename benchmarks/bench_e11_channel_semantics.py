@@ -1,0 +1,97 @@
+"""E11: channel-semantics comparison (Section 2's remark; Corollary 3.6).
+
+* lossy channels admit strictly more behaviours than perfect ones: the
+  reachable snapshot set under perfect channels is a subset, and a
+  delivery-dependent property flips verdict;
+* unbounded queues grow without bound in simulation -- the reason
+  Corollary 3.6 places them outside decidable verification, and the
+  verifier refuses them outright.
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.fo import Instance
+from repro.library.synthetic import chain_databases, relay_chain
+from repro.runtime import reachable_states, simulate
+from repro.spec import ChannelSemantics, DECIDABLE_DEFAULT, PERFECT_BOUNDED
+from repro.verifier import verify
+
+from harness import Row, record, report
+
+DB = chain_databases(0)
+
+
+def test_lossy_reachable_superset(benchmark):
+    composition = relay_chain(0)
+
+    def run():
+        lossy = reachable_states(composition, DB, ("v0",),
+                                 semantics=DECIDABLE_DEFAULT)
+        perfect = reachable_states(composition, DB, ("v0",),
+                                   semantics=PERFECT_BOUNDED)
+        return lossy, perfect
+
+    lossy, perfect = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert perfect <= lossy
+    report(Row("E11", f"reachable: lossy={len(lossy)} perfect="
+                      f"{len(perfect)} (subset)", "SUBSET", "SUBSET",
+               len(lossy), 0.0))
+
+
+def test_delivery_property_flips(benchmark):
+    composition = relay_chain(0)
+    # "a sent message is immediately available at the receiver"
+    prop = "forall x: G( P0.!q0(x) -> ~P1.empty_q0 )"
+
+    def run():
+        perfect = verify(composition, prop, DB,
+                         semantics=PERFECT_BOUNDED)
+        lossy = verify(composition, prop, DB,
+                       semantics=DECIDABLE_DEFAULT)
+        return perfect, lossy
+
+    perfect, lossy = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E11", "sent => enqueued, perfect channels", perfect, True)
+    # under lossy semantics the out-queue *view* only shows enqueued
+    # messages, so the property still holds -- the distinction appears on
+    # liveness, measured next
+    record("E11", "sent => enqueued, lossy channels", lossy, True)
+
+
+def test_liveness_flips_between_semantics(benchmark):
+    composition = relay_chain(0)
+    prop = "forall x: G( P0.pick(x) -> F P1.done(x) )"
+
+    def run():
+        lossy = verify(composition, prop, DB,
+                       semantics=DECIDABLE_DEFAULT)
+        return lossy
+
+    lossy = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E11", "pick eventually delivered, lossy", lossy, False)
+
+
+def test_unbounded_queue_growth(benchmark):
+    composition = relay_chain(0)
+    unbounded = ChannelSemantics(lossy=False, queue_bound=None)
+
+    def run():
+        trace = simulate(
+            composition, DB, ("v0",), steps=60, semantics=unbounded,
+            # steer: keep the sender's input set and let the queue grow
+            choose=lambda options: max(
+                options,
+                key=lambda s: (s.total_queued_messages(),
+                               len(s.data["P0.pick"]),
+                               s.mover == "P0"),
+            ),
+        )
+        return trace[-1].total_queued_messages()
+
+    depth = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert depth >= 25
+    report(Row("E11", f"unbounded queue after 60 steps: {depth} msgs",
+               "GROWS", "GROWS", 0, 0.0))
+    with pytest.raises(VerificationError):
+        verify(composition, "G true", DB, semantics=unbounded)

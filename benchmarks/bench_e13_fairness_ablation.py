@@ -1,0 +1,73 @@
+"""E13 (ablation): what it takes for liveness to hold.
+
+The paper's example liveness property (11) is violated under its own
+decidable semantics (E1-F1).  This ablation isolates the two causes --
+message loss and unfair scheduling -- by toggling them independently on
+the minimal relay composition, then replays the story on the loan
+composition:
+
+* liveness holds exactly under perfect channels *and* fair scheduling;
+* on the loan composition, the fully automatic approval path (excellent
+  rating) becomes responsive under perfect+fair, while paths requiring
+  human decisions (middling ratings) stay violable -- scheduler fairness
+  cannot force users to act.
+
+Fair scheduling is a library extension (``verify(...,
+fair_scheduling=True)``): counterexample runs must let every peer move
+infinitely often.
+"""
+
+import pytest
+
+from repro.library.loan import (
+    PROPERTY_RESPONSIVENESS, STANDARD_CANDIDATES, loan_composition,
+    standard_database,
+)
+from repro.library.synthetic import (
+    chain_databases, chain_liveness_property, relay_chain,
+)
+from repro.spec import DECIDABLE_DEFAULT, PERFECT_BOUNDED
+from repro.verifier import verification_domain, verify
+
+from harness import record
+
+MATRIX = [
+    ("lossy, unfair", DECIDABLE_DEFAULT, False, False),
+    ("perfect, unfair", PERFECT_BOUNDED, False, False),
+    ("lossy, fair", DECIDABLE_DEFAULT, True, False),
+    ("perfect, fair", PERFECT_BOUNDED, True, True),
+]
+
+
+@pytest.mark.parametrize("label,semantics,fair,expected", MATRIX)
+def test_liveness_matrix(benchmark, label, semantics, fair, expected):
+    composition = relay_chain(0)
+    databases = chain_databases(0)
+
+    def run():
+        return verify(composition, chain_liveness_property(0), databases,
+                      semantics=semantics, fair_scheduling=fair)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E13", f"relay liveness: {label}", result, expected)
+
+
+@pytest.mark.parametrize("category,expected", [
+    ("excellent", True),   # fully automatic path: responsive
+    ("fair", False),       # needs human decisions: fairness cannot help
+])
+def test_loan_responsiveness_perfect_fair(benchmark, category, expected):
+    composition = loan_composition()
+    databases = standard_database(category)
+    domain = verification_domain(composition, [], databases,
+                                 fresh_count=1)
+
+    def run():
+        return verify(composition, PROPERTY_RESPONSIVENESS, databases,
+                      domain=domain, semantics=PERFECT_BOUNDED,
+                      fair_scheduling=True,
+                      valuation_candidates=STANDARD_CANDIDATES)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E13", f"loan (11) perfect+fair, category={category}",
+           result, expected)

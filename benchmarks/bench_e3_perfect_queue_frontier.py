@@ -1,0 +1,63 @@
+"""E3: Theorem 3.7 -- perfect 1-bounded flat queues simulate counter
+machines.
+
+The compiled two-counter-machine gadget is run under the theorem's
+semantics.  For halting machines the verifier finds the faithful halting
+computation as a property violation (the demonstrated direction of the
+reduction); for the diverging machine the bounded-domain search is
+exhausted without a witness.
+"""
+
+import pytest
+
+from repro.reductions import (
+    count_up_down, diverging_machine, halting_search_property,
+    machine_composition, machine_databases, run_machine, transfer_machine,
+)
+from repro.spec import PERFECT_BOUNDED
+from repro.verifier import verification_domain, verify
+
+from harness import record
+
+
+def _run(machine, fresh):
+    composition = machine_composition(machine)
+    prop = halting_search_property(machine)
+    domain = verification_domain(composition, [prop], machine_databases(),
+                                 fresh_count=fresh)
+    return verify(composition, prop, machine_databases(),
+                  semantics=PERFECT_BOUNDED, domain=domain,
+                  check_input_bounded=False)
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_halting_count_machine(benchmark, n):
+    machine = count_up_down(n)
+    space = run_machine(machine).peak_space
+    result = benchmark.pedantic(_run, args=(machine, space + 1),
+                                rounds=1, iterations=1)
+    record("E3", f"halting count_up_down({n}): witness found",
+           result, False)
+
+
+def test_halting_transfer_machine(benchmark):
+    machine = transfer_machine(1)
+    space = run_machine(machine).peak_space
+    result = benchmark.pedantic(_run, args=(machine, space + 1),
+                                rounds=1, iterations=1)
+    record("E3", "halting transfer(1): witness found", result, False)
+
+
+def test_diverging_machine_no_witness(benchmark):
+    result = benchmark.pedantic(_run, args=(diverging_machine(), 2),
+                                rounds=1, iterations=1)
+    record("E3", "diverging machine: bounded domain exhausted",
+           result, True)
+
+
+def test_insufficient_space_no_witness(benchmark):
+    # count_up_down(3) needs 3 chain values; one fresh value is not enough
+    result = benchmark.pedantic(_run, args=(count_up_down(3), 1),
+                                rounds=1, iterations=1)
+    record("E3", "halting machine, domain too small: no witness",
+           result, True)

@@ -1,0 +1,60 @@
+"""E4: Theorem 3.8 -- deterministic-send lossy flat queues.
+
+Two demonstrations: (a) the same counter-machine gadget finds its halting
+witness under the deterministic-send lossy semantics the theorem names;
+(b) the ``error_Q`` flag itself is observable and flips a property's
+verdict between the two send disciplines.
+"""
+
+import pytest
+
+from repro.reductions import (
+    count_up_down, deterministic_send_gadget, halting_search_property,
+    machine_composition, machine_databases, run_machine,
+)
+from repro.spec import DETERMINISTIC_LOSSY, PERFECT_BOUNDED
+from repro.verifier import verification_domain, verify
+
+from harness import record
+
+
+def test_halting_witness_under_detsend(benchmark):
+    machine = count_up_down(1)
+    composition = machine_composition(machine)
+    prop = halting_search_property(machine)
+    space = run_machine(machine).peak_space
+    domain = verification_domain(composition, [prop], machine_databases(),
+                                 fresh_count=space + 1)
+
+    def run():
+        return verify(composition, prop, machine_databases(),
+                      semantics=DETERMINISTIC_LOSSY, domain=domain,
+                      check_input_bounded=False)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E4", "halting witness, deterministic lossy queues",
+           result, False)
+
+
+def test_error_flag_nondeterministic(benchmark):
+    composition, databases, prop = deterministic_send_gadget()
+
+    def run():
+        return verify(composition, prop, databases,
+                      semantics=PERFECT_BOUNDED)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E4", "ambiguous flat send, nondeterministic pick",
+           result, True)
+
+
+def test_error_flag_deterministic(benchmark):
+    composition, databases, prop = deterministic_send_gadget()
+
+    def run():
+        return verify(composition, prop, databases,
+                      semantics=DETERMINISTIC_LOSSY)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E4", "ambiguous flat send, deterministic error flag",
+           result, False)

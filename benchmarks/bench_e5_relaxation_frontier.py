@@ -1,0 +1,74 @@
+"""E5: Theorems 3.9/3.10 -- syntactic relaxations of input-boundedness.
+
+The boundary is demonstrated three ways:
+
+* the checker rejects emptiness tests on nested messages (3.9) and
+  non-ground nested atoms (3.10) -- measured as checker throughput;
+* with the check overridden, the bounded-domain search remains a sound
+  bug finder and distinguishes the empty-nested-message behaviours that
+  power Theorem 3.9's reduction;
+* the PCP solver (the classic source problem for these reductions)
+  solves/refutes the library instances.
+"""
+
+import pytest
+
+from repro.ib import check_peer, check_sentence
+from repro.ltlfo import parse_ltlfo
+from repro.reductions import (
+    SOLVABLE, UNSOLVABLE, emptiness_test_gadget, nonground_nested_peer,
+    solve_bounded,
+)
+from repro.spec import ChannelSemantics, NestedEmptySend
+from repro.verifier import verify
+
+from harness import Row, report, record
+
+
+def test_checker_rejects_emptiness_property(benchmark):
+    composition, _dbs, _ib, emptiness_prop = emptiness_test_gadget()
+    sentence = parse_ltlfo(emptiness_prop, composition.schema)
+
+    def run():
+        return check_sentence(sentence, composition.schema)
+
+    violations = benchmark(run)
+    assert violations
+    report(Row("E5", "checker rejects nested emptiness test (3.9)",
+               "REJECTED", "REJECTED", 0, 0.0))
+
+
+def test_checker_rejects_nonground_nested(benchmark):
+    peer = nonground_nested_peer()
+    violations = benchmark(check_peer, peer)
+    assert violations
+    report(Row("E5", "checker rejects non-ground nested atom (3.10)",
+               "REJECTED", "REJECTED", 0, 0.0))
+
+
+def test_empty_nested_messages_observable(benchmark):
+    composition, databases, _ib, emptiness_prop = emptiness_test_gadget()
+    faithful = ChannelSemantics(
+        lossy=True, queue_bound=1,
+        nested_empty_send=NestedEmptySend.ENQUEUE,
+    )
+
+    def run():
+        return verify(composition, emptiness_prop, databases,
+                      semantics=faithful, check_input_bounded=False)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E5", "emptiness test distinguishes empty nested msgs",
+           result, False)
+
+
+@pytest.mark.parametrize("name,instance,solvable", [
+    ("solvable", SOLVABLE, True),
+    ("unsolvable", UNSOLVABLE, False),
+])
+def test_pcp_solver(benchmark, name, instance, solvable):
+    solution = benchmark(solve_bounded, instance, 10)
+    assert (solution is not None) == solvable
+    report(Row("E5", f"PCP bounded search: {name} instance",
+               "FOUND" if solution else "NONE",
+               "FOUND" if solvable else "NONE", 0, 0.0))

@@ -1,0 +1,73 @@
+"""E6: Theorem 4.2 -- data-agnostic conversation protocols.
+
+Example 4.1's protocol ``G(getRating -> F rating)`` on the loan
+composition (fails under lossy channels -- the request can be lost), plus
+ordering protocols that hold, and a Büchi-automaton-given protocol
+exercising the complementation path.
+"""
+
+import pytest
+
+from repro.library.loan import loan_composition, standard_database
+from repro.library.synthetic import chain_databases, relay_chain
+from repro.ltl import BuchiAutomaton, Edge, Guard
+from repro.protocols import AgnosticProtocol, verify_agnostic
+from repro.spec import PERFECT_BOUNDED
+from repro.verifier import verification_domain
+
+from harness import record
+
+
+@pytest.fixture(scope="module")
+def loan_setup():
+    composition = loan_composition()
+    databases = standard_database("fair")
+    domain = verification_domain(composition, [], databases, fresh_count=1)
+    return composition, databases, domain
+
+
+def test_example_41_protocol_lossy(benchmark, loan_setup):
+    composition, databases, domain = loan_setup
+    protocol = AgnosticProtocol.from_ltl("G( getRating -> F rating )")
+
+    def run():
+        return verify_agnostic(composition, protocol, databases,
+                               domain=domain)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E6", "Ex 4.1: G(getRating -> F rating), lossy",
+           result, False)
+
+
+def test_rating_only_after_request(benchmark, loan_setup):
+    composition, databases, domain = loan_setup
+    protocol = AgnosticProtocol.from_ltl(
+        "(~rating U getRating) | G ~rating"
+    )
+
+    def run():
+        return verify_agnostic(composition, protocol, databases,
+                               domain=domain, semantics=PERFECT_BOUNDED)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E6", "no rating before a request (perfect)", result, True)
+
+
+def test_buchi_given_protocol(benchmark):
+    composition = relay_chain(0)
+    databases = chain_databases(0)
+    # deterministic DBA: 'no message ever' -- clearly violated
+    automaton = BuchiAutomaton(
+        states={0}, initial={0},
+        edges=[Edge(0, Guard(neg=frozenset({"q0"})), 0)],
+        accepting={0}, aps={"q0"},
+    )
+    protocol = AgnosticProtocol.from_buchi(automaton)
+
+    def run():
+        return verify_agnostic(composition, protocol, databases,
+                               semantics=PERFECT_BOUNDED)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E6", "automaton-given protocol (DBA complement)",
+           result, False)

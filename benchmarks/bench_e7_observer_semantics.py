@@ -1,0 +1,80 @@
+"""E7: Theorem 4.3 -- observer-at-source vs observer-at-recipient.
+
+The distinguishing gadget: the receiver never consumes its 1-bounded
+in-queue, so after the first delivery every further send is dropped at
+the full queue.  The protocol "at most one message is ever observed"
+(``G( q -> X G ~q )``) is then
+
+* SATISFIED at the *recipient* (only the first send is ever enqueued),
+* VIOLATED at the *source* (the sender may fire twice).
+
+This is the semantic gap behind Theorem 4.3: the source observer sees
+messages that no bounded lossy channel ever delivers, which is what makes
+the source flavour undecidable in general.
+"""
+
+from repro.fo import Instance
+from repro.protocols import AgnosticProtocol, Observer, verify_agnostic
+from repro.spec import Composition, PERFECT_BOUNDED, PeerBuilder
+
+from harness import record
+
+AT_MOST_ONE = "G( q -> X G ~q )"
+
+
+def make_gadget():
+    sender = (
+        PeerBuilder("S")
+        .database("items", 1)
+        .input("pick", 1)
+        .flat_out_queue("q", 1)
+        .input_rule("pick", ["x"], "items(x)")
+        .send_rule("q", ["x"], "pick(x)")
+        .build()
+    )
+    # the receiver declares the in-queue but no rule mentions it, so the
+    # queue is never dequeued (Definition 2.4) and stays full forever
+    receiver = (
+        PeerBuilder("R")
+        .flat_in_queue("q", 1)
+        .state("idle", 0)
+        .insert_rule("idle", [], "true")
+        .build()
+    )
+    composition = Composition([sender, receiver])
+    databases = {"S": Instance({"items": [("a",)]})}
+    return composition, databases
+
+
+def _run(observer):
+    composition, databases = make_gadget()
+    protocol = AgnosticProtocol.from_ltl(AT_MOST_ONE, observer=observer)
+    return verify_agnostic(composition, protocol, databases,
+                           semantics=PERFECT_BOUNDED)
+
+
+def test_recipient_observer_satisfied(benchmark):
+    result = benchmark.pedantic(_run, args=(Observer.RECIPIENT,),
+                                rounds=1, iterations=1)
+    record("E7", "at-most-one-message, observer at recipient",
+           result, True)
+
+
+def test_source_observer_violated(benchmark):
+    result = benchmark.pedantic(_run, args=(Observer.SOURCE,),
+                                rounds=1, iterations=1)
+    record("E7", "at-most-one-message, observer at source",
+           result, False)
+
+
+def test_source_counterexample_shows_dropped_resend(benchmark):
+    result = benchmark.pedantic(_run, args=(Observer.SOURCE,),
+                                rounds=1, iterations=1)
+    assert not result.satisfied
+    states = result.counterexample.lasso.states()
+    sends = [s for s in states if "q" in s.sent]
+    drops = [s for s in sends if "q" not in s.enqueued]
+    assert len(sends) >= 2
+    assert drops, "the resend must have been dropped at the full queue"
+    record("E7", "source counterexample: resend dropped at full queue",
+           result, False)

@@ -1,0 +1,97 @@
+"""E8: Theorem 4.5 -- data-aware conversation protocols.
+
+Protocols whose symbols carry FO formulas over the out-queue schema
+(Definition 4.4), checked on the loan composition:
+
+* rating replies never carry an unknown category (holds);
+* a free-variable protocol -- every rating request for an ssn is
+  eventually answered *for that ssn* -- fails under lossy channels, with
+  the valuation reported;
+* an automaton-given data-aware protocol exercises complementation.
+"""
+
+import pytest
+
+from repro.fo import parse_fo
+from repro.library.loan import loan_composition, standard_database
+from repro.ltl import (
+    BuchiAutomaton, Edge, Guard, latom, lfinally, lglobally, limplies,
+    lnot,
+)
+from repro.protocols import DataAwareProtocol, verify_aware
+from repro.spec import PERFECT_BOUNDED
+from repro.verifier import verification_domain
+
+from harness import record
+
+
+@pytest.fixture(scope="module")
+def setup():
+    composition = loan_composition()
+    databases = standard_database("fair")
+    domain = verification_domain(composition, [], databases, fresh_count=1)
+    return composition, databases, domain
+
+
+def test_rating_categories_protocol(benchmark, setup):
+    composition, databases, domain = setup
+    protocol = DataAwareProtocol(
+        symbols={
+            "bad_rating": parse_fo(
+                'CR.!rating("s1", "unheard-of")', composition.schema
+            ),
+        },
+        ltl=lglobally(lnot(latom("bad_rating"))),
+    )
+
+    def run():
+        return verify_aware(composition, protocol, databases,
+                            domain=domain)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E8", "ratings never carry unknown categories", result, True)
+
+
+def test_request_answered_with_content(benchmark, setup):
+    composition, databases, domain = setup
+    protocol = DataAwareProtocol(
+        symbols={
+            "req": parse_fo("O.!getRating(s)", composition.schema),
+            "rep": parse_fo("exists c: CR.!rating(s, c)",
+                            composition.schema),
+        },
+        ltl=lglobally(limplies(latom("req"), lfinally(latom("rep")))),
+    )
+
+    def run():
+        return verify_aware(composition, protocol, databases,
+                            domain=domain)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E8", "per-ssn request/response, lossy channels",
+           result, False)
+    assert result.counterexample.valuation == {"s": "s1"}
+
+
+def test_automaton_given_data_aware(benchmark, setup):
+    composition, databases, domain = setup
+    # deterministic automaton: the bad symbol never fires
+    automaton = BuchiAutomaton(
+        states={0}, initial={0},
+        edges=[Edge(0, Guard(neg=frozenset({"bad"})), 0)],
+        accepting={0}, aps={"bad"},
+    )
+    protocol = DataAwareProtocol(
+        symbols={
+            "bad": parse_fo('M.!decision("c1", "maybe")',
+                            composition.schema),
+        },
+        automaton=automaton,
+    )
+
+    def run():
+        return verify_aware(composition, protocol, databases,
+                            domain=domain, semantics=PERFECT_BOUNDED)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("E8", "automaton-given data-aware protocol", result, True)

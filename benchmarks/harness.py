@@ -1,0 +1,55 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` module reproduces one experiment row set from
+DESIGN.md's per-experiment index (the paper has no numbered tables; the
+experiments demonstrate its theorems and examples).  Benchmarks run under
+``pytest benchmarks/ --benchmark-only``; each records wall time via the
+``benchmark`` fixture and *asserts the expected verdicts*, so a benchmark
+run doubles as an end-to-end correctness check.  The measured rows are
+printed so EXPERIMENTS.md can be regenerated from the output.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+
+@dataclass
+class Row:
+    """One reported experiment row."""
+
+    experiment: str
+    case: str
+    verdict: str
+    expected: str
+    states: int
+    seconds: float
+
+    def render(self) -> str:
+        ok = "ok" if self.verdict == self.expected else "MISMATCH"
+        return (f"[{self.experiment}] {self.case:42s} "
+                f"{self.verdict:9s} (expected {self.expected}; {ok}) "
+                f"states={self.states:<7d} {self.seconds:.3f}s")
+
+
+def report(row: Row) -> None:
+    """Print a row (visible with pytest -s or in the captured log)."""
+    print(row.render(), file=sys.stderr)
+
+
+def record(experiment: str, case: str, result, expected_satisfied: bool
+           ) -> Row:
+    """Build + print a row from a VerificationResult and assert verdict."""
+    expected = "SATISFIED" if expected_satisfied else "VIOLATED"
+    row = Row(
+        experiment=experiment,
+        case=case,
+        verdict=result.verdict,
+        expected=expected,
+        states=result.stats.system_states,
+        seconds=result.stats.wall_seconds,
+    )
+    report(row)
+    assert result.verdict == expected, row.render()
+    return row

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""A tour of the decidability frontier (Sections 3.2, 4, 5).
+
+Each stop demonstrates one of the paper's boundary results executably:
+
+* Theorem 3.4 (decidable): an input-bounded composition with bounded
+  lossy queues verifies exactly.
+* Corollary 3.6 (unbounded queues): the verifier refuses; a simulation
+  shows queues growing without bound.
+* Theorem 3.7 (perfect bounded queues): a two-counter machine compiled
+  into the fragment; the verifier, used as a semi-decision procedure,
+  finds the halting computation of a halting machine as a property
+  violation, and exhausts the bounded domain for a diverging one.
+* Theorems 3.9/3.10: the input-boundedness checker pinpoints emptiness
+  tests on nested messages and non-ground nested atoms.
+
+Run:  python examples/frontier_tour.py
+"""
+
+from repro.errors import VerificationError
+from repro.ib import check_peer, check_sentence, summarize
+from repro.ltlfo import parse_ltlfo
+from repro.reductions import (
+    count_up_down, diverging_machine, emptiness_test_gadget,
+    halting_search_property, machine_composition, machine_databases,
+    nonground_nested_peer, run_machine,
+)
+from repro.fo import Instance
+from repro.spec import (
+    ChannelSemantics, Composition, PERFECT_BOUNDED, PeerBuilder,
+)
+from repro.verifier import verification_domain, verify
+
+
+def stop_decidable() -> None:
+    print("=== Theorem 3.4: the decidable fragment ===")
+    from repro.library.synthetic import (
+        chain_databases, chain_safety_property, relay_chain,
+    )
+    comp = relay_chain(1)
+    result = verify(comp, chain_safety_property(1), chain_databases(1))
+    print(" ", result.summary().splitlines()[0])
+
+
+def stop_unbounded_queues() -> None:
+    print("\n=== Corollary 3.6: unbounded queues are off-limits ===")
+    from repro.library.synthetic import chain_databases, relay_chain
+    comp = relay_chain(0)
+    try:
+        verify(comp, "G true", chain_databases(0),
+               semantics=ChannelSemantics(queue_bound=None))
+    except VerificationError as err:
+        print("  verifier refused:", str(err).splitlines()[0])
+    # simulation shows why: the queue grows without bound
+    from repro.runtime import simulate
+    unbounded = ChannelSemantics(lossy=False, queue_bound=None)
+    trace = simulate(
+        comp, chain_databases(0), ("v0",), steps=40,
+        semantics=unbounded,
+        # steer: keep the sender's input set and let the queue grow
+        choose=lambda options: max(
+            options,
+            key=lambda s: (s.total_queued_messages(),
+                           len(s.data["P0.pick"]),
+                           s.mover == "S"),
+        ),
+    )
+    print("  after 40 steps the channel holds",
+          trace[-1].total_queued_messages(), "messages and counting")
+
+
+def stop_halting_reduction() -> None:
+    print("\n=== Theorem 3.7: perfect 1-bounded queues simulate counter "
+          "machines ===")
+    halting = count_up_down(2)
+    run = run_machine(halting)
+    print(f"  machine counts to {run.max_c1} and back "
+          f"({run.steps} steps); interpreter says halted={run.halted}")
+    comp = machine_composition(halting)
+    prop = halting_search_property(halting)
+    dom = verification_domain(comp, [prop], machine_databases(),
+                              fresh_count=run.peak_space + 1)
+    result = verify(comp, prop, machine_databases(),
+                    semantics=PERFECT_BOUNDED, domain=dom,
+                    check_input_bounded=False)
+    print("  verifier on the compiled gadget:", result.verdict,
+          "(violation == faithful halting computation found)")
+
+    diverging = diverging_machine()
+    comp = machine_composition(diverging)
+    prop = halting_search_property(diverging)
+    dom = verification_domain(comp, [prop], machine_databases(),
+                              fresh_count=2)
+    result = verify(comp, prop, machine_databases(),
+                    semantics=PERFECT_BOUNDED, domain=dom,
+                    check_input_bounded=False)
+    print("  diverging machine, same gadget  :", result.verdict,
+          "(bounded domain exhausted, no witness)")
+
+
+def stop_syntactic_boundaries() -> None:
+    print("\n=== Theorems 3.9/3.10: one relaxation breaks the fragment ===")
+    comp, _dbs, _ib_prop, emptiness_prop = emptiness_test_gadget()
+    sentence = parse_ltlfo(emptiness_prop, comp.schema)
+    print("  emptiness test on a nested message:")
+    print("   ", summarize(check_sentence(sentence, comp.schema)))
+    print("  non-ground nested atom in an input rule:")
+    print("   ", summarize(check_peer(nonground_nested_peer())))
+
+
+def main() -> None:
+    stop_decidable()
+    stop_unbounded_queues()
+    stop_halting_reduction()
+    stop_syntactic_boundaries()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Loading compositions from textual specifications (.dws files).
+
+The paper's introduction motivates verification by high-level web-service
+specification tools: the specification itself is the verified artifact.
+This example loads the sealed-bid auction composition from
+``examples/specs/auction.dws`` and verifies it:
+
+* sold verdicts only for lots meeting the house's reserve (holds);
+* the seller's recorded outcome matches the house's verdict (holds);
+* a seeded edit of the spec text (the house ignoring the reserve) is
+  caught by the verifier.
+
+Run:  python examples/text_specs.py
+"""
+
+from pathlib import Path
+
+from repro.ib import check_composition, summarize
+from repro.spec import load
+from repro.verifier import verify
+
+SPEC_PATH = Path(__file__).parent / "specs" / "auction.dws"
+
+
+def main() -> None:
+    text = SPEC_PATH.read_text()
+    composition, databases = load(text)
+    print("loaded:", composition)
+    print("input-boundedness:",
+          summarize(check_composition(composition)))
+
+    print("\n--- sold only at the bid actually placed meeting the reserve ---")
+    policy = (
+        'forall x, b: G( House.!verdict(x, b, "sold") '
+        "-> House.reserve(x, b) )"
+    )
+    result = verify(composition, policy, databases)
+    print(result.summary())
+
+    print("\n--- seller's record carries a definite result ---")
+    result = verify(
+        composition,
+        'forall x, b, v: G( Seller.outcome(x, b, v) '
+        '-> v = "sold" | v = "passed" )',
+        databases,
+    )
+    print(result.summary())
+
+    print("\n--- seeded spec bug: the house ignores its reserve ---")
+    import re
+    buggy_text = re.sub(
+        r"send verdict\(x, b, v\) <-.*?\)\s*\)",
+        'send verdict(x, b, v) <- ?sealed(x, b) & v = "sold"',
+        text, flags=re.DOTALL,
+    )
+    # a low-budget bidder below the reserve makes the bug observable
+    buggy_text = buggy_text.replace('budget: ("high",)',
+                                    'budget: ("low",)')
+    composition, databases = load(buggy_text)
+    result = verify(composition, policy, databases)
+    print(result.verdict,
+          "- the edited text spec no longer honours the reserve"
+          if not result.satisfied else "(bug not visible?)")
+
+
+if __name__ == "__main__":
+    main()

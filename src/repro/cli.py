@@ -1,0 +1,151 @@
+"""Command-line interface: verify textual specifications.
+
+Usage::
+
+    python -m repro verify SPEC.dws [--property NAME] [--perfect]
+                           [--queue-bound K] [--fair] [--fresh N]
+                           [--counterexample]
+    python -m repro check SPEC.dws            # input-boundedness only
+    python -m repro simulate SPEC.dws [--steps N] [--seed S]
+
+``verify`` runs every ``property`` statement in the document (or just
+``--property NAME``) and reports verdicts; the exit status is 0 iff all
+checked properties are satisfied.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .errors import ReproError
+from .ib import check_composition, summarize
+from .runtime import simulate
+from .spec import ChannelSemantics
+from .spec.dsl import load_document
+from .verifier import verification_domain, verify
+
+
+def _semantics(args: argparse.Namespace) -> ChannelSemantics:
+    return ChannelSemantics(
+        lossy=not args.perfect,
+        queue_bound=args.queue_bound,
+    )
+
+
+def _load(path: str):
+    text = Path(path).read_text()
+    return load_document(text)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    composition, databases, properties = _load(args.spec)
+    if args.property:
+        missing = [n for n in args.property if n not in properties]
+        if missing:
+            print(f"unknown properties: {missing}; available: "
+                  f"{sorted(properties)}", file=sys.stderr)
+            return 2
+        properties = {n: properties[n] for n in args.property}
+    if not properties:
+        print("the document declares no properties "
+              "(add 'property <name>: <LTL-FO>')", file=sys.stderr)
+        return 2
+
+    domain = None
+    if args.fresh is not None:
+        domain = verification_domain(composition, [], databases,
+                                     fresh_count=args.fresh)
+    all_ok = True
+    for name, prop_text in sorted(properties.items()):
+        result = verify(
+            composition, prop_text, databases,
+            semantics=_semantics(args), domain=domain,
+            fair_scheduling=args.fair,
+        )
+        print(f"{name}: {result.verdict}  "
+              f"(states={result.stats.system_states}, "
+              f"{result.stats.wall_seconds:.2f}s)")
+        if not result.satisfied:
+            all_ok = False
+            if args.counterexample and result.counterexample:
+                print(result.counterexample.describe(composition))
+    return 0 if all_ok else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    composition, _databases, _properties = _load(args.spec)
+    violations = check_composition(composition)
+    print(summarize(violations))
+    return 0 if not violations else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    composition, databases, _properties = _load(args.spec)
+    domain = verification_domain(composition, [], databases,
+                                 fresh_count=args.fresh or 1)
+    trace = simulate(composition, databases, domain.values,
+                     steps=args.steps, seed=args.seed,
+                     semantics=_semantics(args))
+    for idx, state in enumerate(trace):
+        events = ""
+        if state.enqueued:
+            events = f"  enqueued={sorted(state.enqueued)}"
+        print(f"step {idx:3d}: mover={state.mover or '-':8s}{events}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Verify communicating data-driven web services "
+                    "(PODS 2006 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec", help="path to a .dws specification")
+        p.add_argument("--perfect", action="store_true",
+                       help="perfect channels (default: lossy)")
+        p.add_argument("--queue-bound", type=int, default=1,
+                       help="queue capacity k (default 1)")
+        p.add_argument("--fresh", type=int, default=None,
+                       help="override the number of fresh domain values")
+
+    p_verify = sub.add_parser("verify", help="verify the document's "
+                                             "properties")
+    common(p_verify)
+    p_verify.add_argument("--property", action="append",
+                          help="check only this property (repeatable)")
+    p_verify.add_argument("--fair", action="store_true",
+                          help="restrict to fair scheduling")
+    p_verify.add_argument("--counterexample", action="store_true",
+                          help="print counterexample runs")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_check = sub.add_parser("check", help="input-boundedness check only")
+    common(p_check)
+    p_check.set_defaults(func=cmd_check)
+
+    p_sim = sub.add_parser("simulate", help="print one random run")
+    common(p_sim)
+    p_sim.add_argument("--steps", type=int, default=25)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

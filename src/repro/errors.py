@@ -1,0 +1,71 @@
+"""Exception hierarchy for the dataweb-verify library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Specific subclasses distinguish specification problems
+(malformed peers/compositions), formula problems (parsing, arity, unknown
+relations), restriction violations (input-boundedness), and verification
+configuration problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relational schema is malformed or used inconsistently.
+
+    Raised for duplicate relation names, arity mismatches, references to
+    unknown relations, or mixing relations from different scopes.
+    """
+
+
+class FormulaError(ReproError):
+    """A formula is malformed (arity mismatch, unbound use, bad structure)."""
+
+
+class ParseError(ReproError):
+    """The textual formula/specification syntax could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 text: str | None = None) -> None:
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            snippet = text[max(0, position - 20):position + 20]
+            message = f"{message} (at position {position}: ...{snippet!r}...)"
+        super().__init__(message)
+
+
+class SpecificationError(ReproError):
+    """A peer or composition specification violates Definition 2.1/2.5."""
+
+
+class InputBoundednessError(ReproError):
+    """A formula/peer/composition violates the input-boundedness restriction.
+
+    Carries the list of :class:`repro.ib.report.Violation` diagnostics that
+    explain each offending sub-formula.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
+class SemanticsError(ReproError):
+    """A run/transition was attempted under inconsistent channel semantics."""
+
+
+class VerificationError(ReproError):
+    """The verifier was invoked outside its decidable configuration.
+
+    For example: unbounded queues, perfect flat channels in complete mode,
+    or a property outside the supported fragment.
+    """
+
+
+class SimulationError(ReproError):
+    """An interactive simulation step was invalid (bad input choice, etc.)."""

@@ -1,0 +1,30 @@
+"""First-order logic substrate: terms, schemas, instances, formulas,
+evaluation and parsing."""
+
+from .terms import Const, Term, Value, Var, is_value, value_sort_key
+from .schema import (
+    ENVIRONMENT_NAME, RelationKind, RelationSymbol, Schema,
+    empty_name, error_name, move_name, prev_name, received_name,
+)
+from .instance import Instance, Row, Rows, empty_instance, validate_against
+from .formulas import (
+    And, Atom, Eq, Exists, FalseF, Forall, Formula, Implies, Not, Or, TrueF,
+    FALSE, TRUE, all_vars, atom, atoms, children, conj, constants, disj, eq,
+    exists, forall, free_vars, implies, instantiate, is_existential_prenex,
+    is_ground_atom, neg, relations, substitute, walk,
+)
+from .evaluator import answers, default_domain, evaluate, evaluate_naive
+from .parser import FOParser, parse_fo, tokenize
+
+__all__ = [
+    "And", "Atom", "Const", "ENVIRONMENT_NAME", "Eq", "Exists", "FALSE",
+    "FOParser", "FalseF", "Forall", "Formula", "Implies", "Instance", "Not",
+    "Or", "RelationKind", "RelationSymbol", "Row", "Rows", "Schema", "TRUE",
+    "Term", "TrueF", "Value", "Var", "all_vars", "answers", "atom", "atoms",
+    "children", "conj", "constants", "default_domain", "disj", "empty_name",
+    "empty_instance", "eq", "error_name", "evaluate", "evaluate_naive",
+    "exists", "forall", "free_vars", "implies", "instantiate",
+    "is_existential_prenex", "is_ground_atom", "is_value", "move_name",
+    "neg", "parse_fo", "prev_name", "received_name", "relations",
+    "substitute", "tokenize", "validate_against", "value_sort_key", "walk",
+]

@@ -1,0 +1,319 @@
+"""Active-domain evaluation of FO formulas over relational instances.
+
+The paper evaluates rule bodies and property sub-formulas over the current
+configuration, with quantifiers ranging over the data domain.  Because
+configurations are finite, evaluation over the *relevant finite domain*
+(the verification domain, or the active domain plus mentioned constants) is
+exact.
+
+Two entry points:
+
+* :func:`evaluate` -- truth of a formula under a full binding of its free
+  variables;
+* :func:`answers` -- the set of tuples for a head variable list that make a
+  rule body true (used to fire input/state/action/send rules).
+
+The implementation computes *satisfying-binding sets* recursively.  For a
+formula ``phi`` and a partial environment ``env``, ``sat_set`` returns the
+set of bindings of ``free_vars(phi) \\ dom(env)`` under which ``phi`` holds.
+Conjunction joins child binding sets; negation and universal quantification
+enumerate their unbound variables over the domain (sound and complete for
+finite domains; efficient for the guarded formulas that input-bounded
+specifications produce, where negations have few unbound variables).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import FormulaError
+from .formulas import (
+    And, Atom, Eq, Exists, Forall, Formula, FalseF, Implies, Not, Or, TrueF,
+    constants, free_vars,
+)
+from .instance import Instance
+from .terms import Const, Term, Value, Var, value_sort_key
+
+#: A (partial) variable binding, keyed by variable name.
+Env = dict[str, Value]
+#: Hashable form of a binding, for deduplication.
+FrozenEnv = frozenset[tuple[str, Value]]
+
+
+def _freeze(env: Env) -> FrozenEnv:
+    return frozenset(env.items())
+
+
+def _thaw(frozen: FrozenEnv) -> Env:
+    return dict(frozen)
+
+
+def _resolve(term: Term, env: Env) -> Value | None:
+    """Value of *term* under *env*, or None for an unbound variable."""
+    if isinstance(term, Const):
+        return term.value
+    return env.get(term.name)
+
+
+def _match_atom(a: Atom, inst: Instance, env: Env) -> set[FrozenEnv]:
+    """Bindings of the atom's unbound variables matching rows of *inst*."""
+    out: set[FrozenEnv] = set()
+    rows = inst[a.rel]
+    for row in rows:
+        if len(row) != len(a.terms):
+            raise FormulaError(
+                f"atom {a} does not match arity of stored rows ({len(row)})"
+            )
+        local: Env = {}
+        ok = True
+        for term, value in zip(a.terms, row):
+            if isinstance(term, Const):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                bound = env.get(term.name, local.get(term.name))
+                if bound is None:
+                    local[term.name] = value
+                elif bound != value:
+                    ok = False
+                    break
+        if ok:
+            out.add(_freeze(local))
+    return out
+
+
+def _extend_all(bindings: set[FrozenEnv], missing: Sequence[str],
+                domain: Sequence[Value]) -> set[FrozenEnv]:
+    """Extend each binding with every assignment of *missing* over *domain*."""
+    if not missing:
+        return bindings
+    out: set[FrozenEnv] = set()
+    for frozen in bindings:
+        base = _thaw(frozen)
+        for combo in itertools.product(domain, repeat=len(missing)):
+            ext = dict(base)
+            ext.update(zip(missing, combo))
+            out.add(_freeze(ext))
+    return out
+
+
+def sat_set(formula: Formula, inst: Instance, domain: Sequence[Value],
+            env: Env | None = None) -> set[FrozenEnv]:
+    """Bindings of the unbound free variables under which *formula* holds.
+
+    ``env`` binds some of the formula's free variables; each returned
+    binding covers exactly ``free_vars(formula)`` minus the bound ones.
+    """
+    env = env or {}
+
+    if isinstance(formula, TrueF):
+        return {frozenset()}
+    if isinstance(formula, FalseF):
+        return set()
+
+    if isinstance(formula, Atom):
+        return _match_atom(formula, inst, env)
+
+    if isinstance(formula, Eq):
+        lv = _resolve(formula.left, env)
+        rv = _resolve(formula.right, env)
+        if lv is not None and rv is not None:
+            return {frozenset()} if lv == rv else set()
+        if lv is not None:
+            assert isinstance(formula.right, Var)
+            return {_freeze({formula.right.name: lv})}
+        if rv is not None:
+            assert isinstance(formula.left, Var)
+            return {_freeze({formula.left.name: rv})}
+        assert isinstance(formula.left, Var)
+        assert isinstance(formula.right, Var)
+        if formula.left.name == formula.right.name:
+            return {_freeze({formula.left.name: v}) for v in domain}
+        return {
+            _freeze({formula.left.name: v, formula.right.name: v})
+            for v in domain
+        }
+
+    if isinstance(formula, Not):
+        unbound = sorted(
+            v.name for v in free_vars(formula.body) if v.name not in env
+        )
+        out: set[FrozenEnv] = set()
+        for combo in itertools.product(domain, repeat=len(unbound)):
+            full = dict(env)
+            full.update(zip(unbound, combo))
+            if not sat_set(formula.body, inst, domain, full):
+                out.add(_freeze(dict(zip(unbound, combo))))
+        return out
+
+    if isinstance(formula, And):
+        result: set[FrozenEnv] = {frozenset()}
+        # Evaluate positive/binding children first so later negations see
+        # their variables bound (efficiency only; correctness is independent
+        # of order because every child is evaluated under all join contexts).
+        ordered = sorted(
+            formula.children,
+            key=lambda c: 1 if isinstance(c, (Not, Forall, Implies)) else 0,
+        )
+        for child in ordered:
+            next_result: set[FrozenEnv] = set()
+            for frozen in result:
+                ctx = dict(env)
+                ctx.update(_thaw(frozen))
+                for extra in sat_set(child, inst, domain, ctx):
+                    merged = _thaw(frozen)
+                    merged.update(_thaw(extra))
+                    next_result.add(_freeze(merged))
+            result = next_result
+            if not result:
+                return set()
+        return result
+
+    if isinstance(formula, Or):
+        all_free = sorted(
+            v.name for v in free_vars(formula) if v.name not in env
+        )
+        out = set()
+        for child in formula.children:
+            child_sat = sat_set(child, inst, domain, env)
+            covered = {
+                v.name for v in free_vars(child) if v.name not in env
+            }
+            missing = [v for v in all_free if v not in covered]
+            out |= _extend_all(child_sat, missing, domain)
+        return out
+
+    if isinstance(formula, Implies):
+        rewritten = Or((Not(formula.antecedent), formula.consequent))
+        return sat_set(rewritten, inst, domain, env)
+
+    if isinstance(formula, Exists):
+        bound_names = {v.name for v in formula.variables}
+        # quantified variables shadow any outer binding of the same name
+        inner_env = {k: v for k, v in env.items() if k not in bound_names}
+        body_sat = sat_set(formula.body, inst, domain, inner_env)
+        out = set()
+        for frozen in body_sat:
+            kept = {
+                name: val for name, val in _thaw(frozen).items()
+                if name not in bound_names
+            }
+            out.add(_freeze(kept))
+        return out
+
+    if isinstance(formula, Forall):
+        rewritten = Not(Exists(formula.variables, Not(formula.body)))
+        return sat_set(rewritten, inst, domain, env)
+
+    raise FormulaError(f"not an FO formula: {formula!r}")
+
+
+def evaluate(formula: Formula, inst: Instance, domain: Sequence[Value],
+             env: Mapping[str, Value] | None = None) -> bool:
+    """Truth of *formula* over *inst* with quantifiers ranging over *domain*.
+
+    Every free variable of the formula must be bound by *env*.
+    """
+    env = dict(env or {})
+    unbound = [v.name for v in free_vars(formula) if v.name not in env]
+    if unbound:
+        raise FormulaError(
+            f"evaluate() requires all free variables bound; "
+            f"missing {sorted(unbound)} in {formula}"
+        )
+    return bool(sat_set(formula, inst, domain, env))
+
+
+def answers(formula: Formula, head: Sequence[Var],
+            inst: Instance, domain: Sequence[Value],
+            env: Mapping[str, Value] | None = None
+            ) -> frozenset[tuple[Value, ...]]:
+    """All tuples for the *head* variables under which *formula* holds.
+
+    Head variables not constrained by the formula range over *domain*
+    (active-domain semantics).  This is the rule-firing primitive: for a
+    rule ``R(x̄) <- phi(x̄)`` the new rows of ``R`` are
+    ``answers(phi, x̄, configuration, domain)``.
+    """
+    env = dict(env or {})
+    sat = sat_set(formula, inst, domain, env)
+    head_names = [v.name for v in head]
+    covered = {v.name for v in free_vars(formula)} | set(env)
+    missing = [n for n in head_names if n not in covered]
+    sat = _extend_all(sat, missing, list(domain))
+    out: set[tuple[Value, ...]] = set()
+    for frozen in sat:
+        binding = dict(env)
+        binding.update(_thaw(frozen))
+        out.add(tuple(binding[n] for n in head_names))
+    return frozenset(out)
+
+
+def evaluate_naive(formula: Formula, inst: Instance,
+                   domain: Sequence[Value],
+                   env: Mapping[str, Value] | None = None) -> bool:
+    """Reference brute-force evaluator (used by tests as ground truth).
+
+    Enumerates quantifier assignments directly from the textbook semantics;
+    exponential, but unambiguous.
+    """
+    env = dict(env or {})
+
+    def ev(f: Formula, e: Env) -> bool:
+        if isinstance(f, TrueF):
+            return True
+        if isinstance(f, FalseF):
+            return False
+        if isinstance(f, Atom):
+            row = []
+            for t in f.terms:
+                v = _resolve(t, e)
+                if v is None:
+                    raise FormulaError(f"unbound variable in {f}")
+                row.append(v)
+            return tuple(row) in inst[f.rel]
+        if isinstance(f, Eq):
+            lv, rv = _resolve(f.left, e), _resolve(f.right, e)
+            if lv is None or rv is None:
+                raise FormulaError(f"unbound variable in {f}")
+            return lv == rv
+        if isinstance(f, Not):
+            return not ev(f.body, e)
+        if isinstance(f, And):
+            return all(ev(c, e) for c in f.children)
+        if isinstance(f, Or):
+            return any(ev(c, e) for c in f.children)
+        if isinstance(f, Implies):
+            return (not ev(f.antecedent, e)) or ev(f.consequent, e)
+        if isinstance(f, Exists):
+            names = [v.name for v in f.variables]
+            return any(
+                ev(f.body, {**e, **dict(zip(names, combo))})
+                for combo in itertools.product(domain, repeat=len(names))
+            )
+        if isinstance(f, Forall):
+            names = [v.name for v in f.variables]
+            return all(
+                ev(f.body, {**e, **dict(zip(names, combo))})
+                for combo in itertools.product(domain, repeat=len(names))
+            )
+        raise FormulaError(f"not an FO formula: {f!r}")
+
+    unbound = [v.name for v in free_vars(formula) if v.name not in env]
+    if unbound:
+        raise FormulaError(f"unbound free variables: {unbound}")
+    return ev(formula, env)
+
+
+def default_domain(formula: Formula, inst: Instance,
+                   extra: Iterable[Value] = ()) -> tuple[Value, ...]:
+    """The active domain of *inst* plus the formula's constants and *extra*.
+
+    Sorted deterministically so evaluation is reproducible.
+    """
+    dom = set(inst.active_domain())
+    dom |= set(constants(formula))
+    dom |= set(extra)
+    return tuple(sorted(dom, key=value_sort_key))

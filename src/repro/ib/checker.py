@@ -1,0 +1,233 @@
+"""The input-boundedness restriction (Section 3.1).
+
+A formula over a composition schema is *input-bounded* when every
+quantifier is guarded::
+
+    exists x̄ (alpha & phi)      forall x̄ (alpha -> phi)
+
+where ``alpha`` is an atom over the current inputs, previous inputs, or
+*flat* queue relations, the quantified variables all occur in ``alpha``,
+and no quantified variable occurs in any state, action, or nested-queue
+atom of ``phi``.
+
+A peer is input-bounded when
+
+1. all state, action, and nested-queue send rules have input-bounded
+   bodies, and
+2. all input rules and flat-queue send rules are ``exists*`` FO with all
+   state and nested-queue atoms ground.
+
+An LTL-FO sentence is input-bounded when all of its FO payloads are
+(the sentence's universal-closure variables range over the run's active
+domain and are exempt, as in the paper's Example 3.2).
+
+The checker returns a list of :class:`~repro.ib.report.Violation`
+diagnostics; an empty list means input-bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import InputBoundednessError
+from ..fo import formulas as fo
+from ..fo.schema import RelationKind, RelationSymbol, Schema
+from ..fo.terms import Var
+from ..ltlfo.formulas import LTLFOSentence
+from ..spec.composition import Composition
+from ..spec.peer import Peer
+from ..spec.rules import Rule, RuleKind
+from .report import Violation
+
+
+def _is_guard_kind(sym: RelationSymbol, strict: bool) -> bool:
+    """May this relation's atoms guard a quantifier?
+
+    Guards range over ``C.I`` + ``C.PrevI`` + flat in-queues + flat
+    out-queues (Section 3.1).  In the default liberal mode, *database*
+    atoms may also guard: the paper's own Example 2.2 quantifies
+    ``exists ssn`` guarded only by the ``customer`` database relation
+    (rules (3)-(8)), and database-guarded quantification is harmless for
+    the bounded-domain argument because the database is fixed and finite.
+    ``strict=True`` enforces the literal definition.
+    """
+    if sym.kind in (RelationKind.INPUT, RelationKind.PREV_INPUT):
+        return True
+    if not strict and sym.kind is RelationKind.DATABASE:
+        return True
+    return sym.is_flat_queue
+
+
+def _is_restricted_kind(sym: RelationSymbol) -> bool:
+    """Must this relation's atoms avoid quantified variables?
+
+    The definition's ``beta`` atoms: state, action, and nested-queue
+    relations.  Propositional bookkeeping states (``empty_Q``/``error_Q``)
+    have arity 0 and can never violate the condition.
+    """
+    if sym.kind in (RelationKind.STATE, RelationKind.ACTION):
+        return True
+    return sym.is_nested_queue
+
+
+def _atom_vars(a: fo.Atom) -> frozenset[str]:
+    return frozenset(t.name for t in a.terms if isinstance(t, Var))
+
+
+def _flatten_conj(formula: fo.Formula) -> list[fo.Formula]:
+    if isinstance(formula, fo.And):
+        out: list[fo.Formula] = []
+        for child in formula.children:
+            out.extend(_flatten_conj(child))
+        return out
+    return [formula]
+
+
+def _check_quantifier(node: fo.Exists | fo.Forall, schema: Schema,
+                      where: str, out: list[Violation],
+                      strict: bool) -> None:
+    quantified = {v.name for v in node.variables}
+
+    # locate candidate guard atoms
+    if isinstance(node, fo.Exists):
+        candidates = _flatten_conj(node.body)
+    else:
+        if not isinstance(node.body, fo.Implies):
+            out.append(Violation(
+                where, str(node),
+                "universal quantifier must have the guarded form "
+                "forall x̄ (alpha -> phi)",
+            ))
+            return
+        candidates = _flatten_conj(node.body.antecedent)
+
+    guard = None
+    for cand in candidates:
+        if isinstance(cand, fo.Atom):
+            sym = schema.get(cand.rel)
+            if sym is not None and _is_guard_kind(sym, strict):
+                if quantified <= _atom_vars(cand):
+                    guard = cand
+                    break
+    if guard is None:
+        out.append(Violation(
+            where, str(node),
+            "no input/prev-input/flat-queue guard atom covers the "
+            f"quantified variables {sorted(quantified)}",
+        ))
+        return
+
+    # quantified variables must avoid state/action/nested-queue atoms
+    for sub in fo.atoms(node.body):
+        if sub is guard:
+            continue
+        sym = schema.get(sub.rel)
+        if sym is None or not _is_restricted_kind(sym):
+            continue
+        clash = quantified & _atom_vars(sub)
+        if clash:
+            out.append(Violation(
+                where, str(node),
+                f"quantified variables {sorted(clash)} occur in "
+                f"{sym.kind.value} atom {sub}",
+            ))
+
+
+def check_formula(formula: fo.Formula, schema: Schema,
+                  where: str = "formula",
+                  strict: bool = False) -> list[Violation]:
+    """Violations of the input-bounded *formula* definition."""
+    out: list[Violation] = []
+    for node in fo.walk(formula):
+        if isinstance(node, (fo.Exists, fo.Forall)):
+            _check_quantifier(node, schema, where, out, strict)
+    return out
+
+
+def check_exists_star_rule(rule: Rule, schema: Schema,
+                           where: str) -> list[Violation]:
+    """Condition 2: ``exists*`` FO with ground state/nested-queue atoms."""
+    out: list[Violation] = []
+    if not fo.is_existential_prenex(rule.body):
+        out.append(Violation(
+            where, str(rule.body),
+            "input rules and flat-send rules must be exists* FO",
+        ))
+    for a in fo.atoms(rule.body):
+        sym = schema.get(a.rel)
+        if sym is None:
+            continue
+        is_state = sym.kind in (RelationKind.STATE,)
+        is_nested_queue = sym.is_nested_queue
+        if (is_state or is_nested_queue) and not fo.is_ground_atom(a):
+            out.append(Violation(
+                where, str(a),
+                f"{sym.kind.value} atom must be ground in input/flat-send "
+                "rules",
+            ))
+    return out
+
+
+def check_peer(peer: Peer, strict: bool = False) -> list[Violation]:
+    """Violations of the input-bounded *peer* definition."""
+    schema = peer.local_schema
+    nested_out = {q.name for q in peer.out_queues if q.nested}
+    out: list[Violation] = []
+    for rule in peer.rules:
+        where = f"peer {peer.name}, {rule.kind.value} rule for {rule.target}"
+        if rule.kind in (RuleKind.INSERT, RuleKind.DELETE, RuleKind.ACTION):
+            out.extend(check_formula(rule.body, schema, where, strict))
+        elif rule.kind is RuleKind.SEND and rule.target in nested_out:
+            out.extend(check_formula(rule.body, schema, where, strict))
+        else:  # input rules and flat-send rules
+            out.extend(check_exists_star_rule(rule, schema, where))
+    return out
+
+
+def check_composition(composition: Composition,
+                      strict: bool = False) -> list[Violation]:
+    """Violations across all peers of a composition."""
+    out: list[Violation] = []
+    for peer in composition.peers:
+        out.extend(check_peer(peer, strict))
+    return out
+
+
+def check_sentence(sentence: LTLFOSentence, schema: Schema,
+                   where: str = "property",
+                   strict: bool = False) -> list[Violation]:
+    """Violations of the input-bounded *LTL-FO sentence* definition.
+
+    Each FO payload is checked; the sentence's universal-closure variables
+    are free in the payloads and therefore unrestricted, exactly as in the
+    paper's Example 3.2.
+    """
+    out: list[Violation] = []
+    for payload in sentence.fo_payloads():
+        out.extend(check_formula(payload, schema, where, strict))
+    return out
+
+
+def is_input_bounded_composition(composition: Composition) -> bool:
+    return not check_composition(composition)
+
+
+def is_input_bounded_sentence(sentence: LTLFOSentence,
+                              schema: Schema) -> bool:
+    return not check_sentence(sentence, schema)
+
+
+def require_input_bounded(composition: Composition,
+                          sentences: Iterable[LTLFOSentence] = (),
+                          ) -> None:
+    """Raise :class:`InputBoundednessError` on any violation."""
+    violations = check_composition(composition)
+    for idx, s in enumerate(sentences):
+        violations.extend(
+            check_sentence(s, composition.schema, where=f"property #{idx}")
+        )
+    if violations:
+        lines = "\n".join(str(v) for v in violations)
+        raise InputBoundednessError(
+            f"not input-bounded:\n{lines}", violations
+        )

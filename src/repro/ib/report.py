@@ -1,0 +1,29 @@
+"""Diagnostics for input-boundedness violations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One reason a formula/peer/composition fails input-boundedness.
+
+    ``where`` locates the problem (peer/rule/property), ``formula`` is the
+    offending (sub)formula rendered as text, ``reason`` explains which part
+    of the Section 3.1 definition is violated.
+    """
+
+    where: str
+    formula: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"[{self.where}] {self.reason}: {self.formula}"
+
+
+def summarize(violations: list[Violation]) -> str:
+    """A multi-line report, one violation per line."""
+    if not violations:
+        return "input-bounded: no violations"
+    return "\n".join(str(v) for v in violations)

@@ -1,0 +1,7 @@
+"""Ready-made compositions: the paper's loan example, e-commerce and
+travel applications in the spirit of [11], and synthetic benchmark
+families."""
+
+from . import ecommerce, loan, synthetic, travel
+
+__all__ = ["ecommerce", "loan", "synthetic", "travel"]

@@ -1,0 +1,150 @@
+"""An e-commerce composition in the spirit of the paper's [11] sites.
+
+The paper's input-boundedness expressivity claim rests on having modeled
+"a computer shopping Web site similar to the Dell computer shopping site"
+and others.  This module provides a store composition with the shape of
+those models, extended with the message-passing the PODS'06 paper adds:
+
+* ``Store`` -- the shop front: the customer picks a product from the
+  catalog, the store requests a payment authorization from the payment
+  processor, and ships on approval (an ``ship`` action row).
+* ``Pay``   -- the payment processor: authorizes or declines a charge by
+  consulting its card database.
+* ``Wh``    -- the warehouse: receives ship orders and records
+  fulfilment; sends back a stock-out notice when the product is not in
+  its stock database.
+
+Channels::
+
+    Store --charge--> Pay --auth--> Store --shipReq--> Wh --stockout--> Store
+"""
+
+from __future__ import annotations
+
+from ..fo.instance import Instance
+from ..spec.composition import Composition
+from ..spec.peer import Peer, PeerBuilder
+
+
+def store_peer() -> Peer:
+    return (
+        PeerBuilder("Store")
+        .database("catalog", 2)                # (product, price-class)
+        .input("buy", 2)                       # (product, card)
+        .state("ordered", 2)                   # (product, card)
+        .state("paid", 2)                      # (product, card)
+        .action("ship", 2)                     # (product, card)
+        .action("reject", 2)                   # (product, card)
+        .flat_in_queue("auth", 3)              # (product, card, verdict)
+        .flat_in_queue("stockout", 1)          # (product)
+        .flat_out_queue("charge", 2)           # (product, card)
+        .flat_out_queue("shipReq", 2)          # (product, card)
+        .state("unavailable", 1)               # (product)
+        .input_rule(
+            "buy", ["p", "card"],
+            'exists cls: catalog(p, cls) & (card = "visa" | card = "amex")',
+        )
+        .insert_rule("ordered", ["p", "card"], "buy(p, card)")
+        .send_rule("charge", ["p", "card"], "buy(p, card)")
+        .insert_rule(
+            "paid", ["p", "card"],
+            '?auth(p, card, "ok") & ordered(p, card)',
+        )
+        .action_rule(
+            "ship", ["p", "card"],
+            '?auth(p, card, "ok") & ordered(p, card)',
+        )
+        .action_rule(
+            "reject", ["p", "card"],
+            '?auth(p, card, "declined") & ordered(p, card)',
+        )
+        # flat-send rules may not read non-ground state (Section 3.1,
+        # condition 2), so the ship request triggers on the auth message
+        # alone; the payment processor only authorizes charged orders
+        .send_rule(
+            "shipReq", ["p", "card"],
+            '?auth(p, card, "ok")',
+        )
+        .insert_rule("unavailable", ["p"], "?stockout(p)")
+        .build()
+    )
+
+
+def payment_peer() -> Peer:
+    return (
+        PeerBuilder("Pay")
+        .database("cards", 2)                  # (card, standing: good|bad)
+        .flat_in_queue("charge", 2)
+        .flat_out_queue("auth", 3)
+        .send_rule(
+            "auth", ["p", "card", "verdict"],
+            '?charge(p, card) & '
+            '( (cards(card, "good") & verdict = "ok")'
+            ' | (cards(card, "bad") & verdict = "declined") )',
+        )
+        .build()
+    )
+
+
+def warehouse_peer() -> Peer:
+    return (
+        PeerBuilder("Wh")
+        .database("stock", 1)                  # products on hand
+        .state("fulfilled", 2)                 # (product, card)
+        .flat_in_queue("shipReq", 2)
+        .flat_out_queue("stockout", 1)
+        .insert_rule(
+            "fulfilled", ["p", "card"],
+            "?shipReq(p, card) & stock(p)",
+        )
+        .send_rule(
+            "stockout", ["p"],
+            "exists card: ?shipReq(p, card) & ~stock(p)",
+        )
+        .build()
+    )
+
+
+def ecommerce_composition() -> Composition:
+    """The closed three-peer store composition."""
+    return Composition([store_peer(), payment_peer(), warehouse_peer()])
+
+
+def standard_database(card_standing: str = "good",
+                      in_stock: bool = True) -> dict[str, Instance]:
+    """One product ``widget``; card standings and stock configurable."""
+    return {
+        "Store": Instance({"catalog": [("widget", "cheap")]}),
+        "Pay": Instance({
+            "cards": [("visa", card_standing), ("amex", card_standing)]
+        }),
+        "Wh": Instance({"stock": [("widget",)] if in_stock else []}),
+    }
+
+
+#: Safety (holds): shipments only for paid orders from the catalog.
+PROPERTY_SHIP_REQUIRES_AUTH = (
+    "forall p, card: "
+    "G( Store.ship(p, card) -> Store.ordered(p, card) )"
+)
+
+#: Safety (holds): nothing ships on a declined authorization --
+#: a ship action always coincides with a positive auth message.
+PROPERTY_NO_SHIP_ON_DECLINE = (
+    "forall p, card: "
+    'G( Store.ship(p, card) -> ~Store.reject(p, card) )'
+)
+
+#: Safety (holds): payment processor answers reflect its card database.
+PROPERTY_AUTH_HONEST = (
+    "forall p, card: "
+    'G( Pay.!auth(p, card, "ok") -> Pay.cards(card, "good") )'
+)
+
+#: Liveness (fails under lossy channels): every order is eventually
+#: shipped or rejected.
+PROPERTY_ORDER_RESOLVED = (
+    "forall p, card: "
+    "G( Store.buy(p, card) "
+    "   -> F( Store.ship(p, card) | Store.reject(p, card) ) )"
+)

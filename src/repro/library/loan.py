@@ -1,0 +1,394 @@
+"""The paper's running example: the bank loan composition (Ex. 1.1/2.2).
+
+Four peers, wired as in Figure 1:
+
+* ``A``  -- the applicant's web service; the customer picks a loan product
+  and an ``apply`` message is sent to the loan officer.
+* ``O``  -- the loan officer's service (specified in full in the paper's
+  Example 2.2): saves applications, requests credit ratings and credit
+  histories from the credit agency, collects the officer's recommendation,
+  forwards everything to the manager, and writes notification letters.
+* ``M``  -- the loan manager's service: receives recommendation bundles
+  and returns approve/deny decisions.
+* ``CR`` -- the credit reporting agency: answers rating requests from its
+  credit-record database and history requests from its accounts database.
+
+Channels::
+
+    A --apply-->  O --getRating-->  CR --rating-->   O
+                  O --getHistory--> CR --history-->  O    (nested)
+                  O --recommend-->  M  --decision--> O    (recommend nested)
+
+Two scales are provided:
+
+* ``gated=True`` (the default, used by the verifier benchmarks): each
+  human acts at most once, enforced with propositional "already acted"
+  state gates.  Propositional state atoms are ground, so the gates
+  preserve input-boundedness; they shrink the reachable snapshot space by
+  orders of magnitude without touching the message protocol.
+* ``gated=False``: the paper-faithful free-running variant (humans may
+  act forever), suitable for simulation and bounded exploration.
+"""
+
+from __future__ import annotations
+
+from ..fo.instance import Instance
+from ..spec.composition import Composition
+from ..spec.peer import Peer, PeerBuilder
+
+#: Credit categories, "poor" to "excellent" (Example 5.1's pre-defined list).
+CREDIT_CATEGORIES = ("poor", "fair", "good", "excellent")
+
+#: Loan products the applicant can pick from.
+LOAN_PRODUCTS = ("small", "large")
+
+
+def applicant_peer(gated: bool = True,
+                   products: tuple[str, ...] = ("small",)) -> Peer:
+    """Peer ``A``: the applicant fills in the application form."""
+    product_menu = " | ".join(f'loan = "{p}"' for p in products)
+    builder = (
+        PeerBuilder("A")
+        .database("me", 1)                       # the applicant's customer id
+        .input("doApply", 2)                     # (cId, loan product)
+        .flat_out_queue("apply", 2)              # (cId, loan)
+    )
+    if gated:
+        builder.state("applied", 0)
+        builder.input_rule(
+            "doApply", ["id", "loan"],
+            f"me(id) & ({product_menu}) & ~applied",
+        )
+        builder.insert_rule(
+            "applied", [], "exists id, loan: doApply(id, loan)",
+        )
+    else:
+        builder.input_rule(
+            "doApply", ["id", "loan"], f"me(id) & ({product_menu})",
+        )
+    builder.send_rule("apply", ["id", "loan"], "doApply(id, loan)")
+    return builder.build()
+
+
+def officer_peer(gated: bool = True, buggy: bool = False) -> Peer:
+    """Peer ``O``: the loan officer (the paper's Example 2.2, complete).
+
+    Rule numbers in comments refer to the paper's display equations
+    (1)-(10).  ``buggy=True`` seeds a policy violation: "poor"-rated
+    applicants are *approved* (used to confirm the verifier finds it).
+    """
+    poor_decision = "approved" if buggy else "denied"
+    builder = (
+        PeerBuilder("O")
+        .database("customer", 3)                 # (cId, ssn, name)
+        .input("reccom", 2)                      # (cId, recommendation)
+        .state("application", 2)                 # (cId, loan)
+        .state("awaitsHist", 5)                  # (cId, ssn, name, loan, rating)
+        .state("awaitsMgr", 7)                   # (+ account, balance)
+        .action("letter", 4)                     # (cId, name, loan, decision)
+        .flat_in_queue("apply", 2)
+        .flat_in_queue("decision", 2)            # (cId, dec)
+        .flat_in_queue("rating", 2)              # (ssn, category)
+        .nested_in_queue("history", 3)           # (ssn, account, balance)
+        .flat_out_queue("getRating", 1)          # (ssn)
+        .flat_out_queue("getHistory", 1)         # (ssn)
+        .nested_out_queue("recommend", 8)        # full bundle for the manager
+    )
+    if gated:
+        # the officer recommends once, after a rating escalated the case
+        builder.state("sawRating", 0)
+        builder.state("recommended", 0)
+        builder.insert_rule(
+            "sawRating", [],
+            'exists ssn, r: ?rating(ssn, r) '
+            '& ~(r = "excellent" | r = "poor")',
+        )
+        builder.insert_rule(
+            "recommended", [], "exists id, rec: reccom(id, rec)",
+        )
+        reccom_guard = " & sawRating & ~recommended"
+    else:
+        reccom_guard = ""
+    (
+        builder
+        # (1) recommendation menu
+        .input_rule(
+            "reccom", ["id", "rec"],
+            'exists ssn, name: customer(id, ssn, name) '
+            f'& (rec = "approve" | rec = "deny"){reccom_guard}',
+        )
+        # (2) save incoming applications
+        .insert_rule("application", ["id", "loan"], "?apply(id, loan)")
+        # (3) ask the credit agency for a rating
+        .send_rule(
+            "getRating", ["ssn"],
+            "exists id, loan, name: ?apply(id, loan) "
+            "& customer(id, ssn, name)",
+        )
+        # (4)-(6) letter writing: auto-approve excellent, auto-deny poor,
+        # otherwise follow the manager's decision
+        .action_rule(
+            "letter", ["id", "name", "loan", "dec"],
+            'exists ssn: customer(id, ssn, name) & application(id, loan) & '
+            '( (?rating(ssn, "excellent") & dec = "approved")'
+            f' | (?rating(ssn, "poor") & dec = "{poor_decision}")'
+            ' | ?decision(id, dec) )',
+        )
+        # (7) middling ratings: fetch the credit history
+        .send_rule(
+            "getHistory", ["ssn"],
+            'exists r: ?rating(ssn, r) '
+            '& ~(r = "excellent" | r = "poor")',
+        )
+        # (8) remember who awaits a history
+        .insert_rule(
+            "awaitsHist", ["id", "ssn", "name", "l", "r"],
+            '?rating(ssn, r) & ~(r = "excellent" | r = "poor") '
+            "& application(id, l) & customer(id, ssn, name)",
+        )
+        # (9) history arrived: ready for the manager
+        .insert_rule(
+            "awaitsMgr",
+            ["id", "ssn", "name", "loan", "rating", "acc", "bal"],
+            "?history(ssn, acc, bal) "
+            "& awaitsHist(id, ssn, name, loan, rating)",
+        )
+        # (10) forward the bundle with the officer's recommendation
+        .send_rule(
+            "recommend",
+            ["id", "ssn", "name", "loan", "rec", "rating", "acc", "bal"],
+            "reccom(id, rec) "
+            "& awaitsMgr(id, ssn, name, loan, rating, acc, bal)",
+        )
+    )
+    return builder.build()
+
+
+def manager_peer(gated: bool = True) -> Peer:
+    """Peer ``M``: the loan manager decides escalated applications."""
+    builder = (
+        PeerBuilder("M")
+        .database("custs", 1)                    # customer ids (mirror)
+        .state("pending", 8)                     # saved recommendation bundle
+        .input("decide", 2)                      # (cId, decision)
+        .nested_in_queue("recommend", 8)
+        .flat_out_queue("decision", 2)
+        .insert_rule(
+            "pending",
+            ["id", "ssn", "name", "loan", "rec", "rating", "acc", "bal"],
+            "?recommend(id, ssn, name, loan, rec, rating, acc, bal)",
+        )
+    )
+    if gated:
+        # the manager decides once, after a recommendation arrived
+        builder.state("sawRec", 0)
+        builder.state("decided", 0)
+        # the queue-state proposition is ground, so this stays
+        # input-bounded even though `pending` itself could not be tested
+        builder.insert_rule("sawRec", [], "~empty_recommend")
+        builder.insert_rule(
+            "decided", [], "exists id, dec: decide(id, dec)",
+        )
+        builder.input_rule(
+            "decide", ["id", "dec"],
+            'custs(id) & (dec = "approved" | dec = "denied") '
+            "& sawRec & ~decided",
+        )
+    else:
+        builder.input_rule(
+            "decide", ["id", "dec"],
+            'custs(id) & (dec = "approved" | dec = "denied")',
+        )
+    builder.send_rule("decision", ["id", "dec"], "decide(id, dec)")
+    return builder.build()
+
+
+def credit_agency_peer() -> Peer:
+    """Peer ``CR``: the credit reporting agency."""
+    return (
+        PeerBuilder("CR")
+        .database("creditRecord", 2)             # (ssn, category)
+        .database("accounts", 3)                 # (ssn, account, balance)
+        .flat_in_queue("getRating", 1)
+        .flat_in_queue("getHistory", 1)
+        .flat_out_queue("rating", 2)
+        .nested_out_queue("history", 3)
+        .send_rule(
+            "rating", ["ssn", "cat"],
+            "?getRating(ssn) & creditRecord(ssn, cat)",
+        )
+        .send_rule(
+            "history", ["ssn", "acc", "bal"],
+            "?getHistory(ssn) & accounts(ssn, acc, bal)",
+        )
+        .build()
+    )
+
+
+def loan_composition(buggy_officer: bool = False,
+                     gated: bool = True) -> Composition:
+    """The complete four-peer loan composition (closed)."""
+    return Composition([
+        applicant_peer(gated=gated),
+        officer_peer(gated=gated, buggy=buggy_officer),
+        manager_peer(gated=gated),
+        credit_agency_peer(),
+    ])
+
+
+def officer_side_composition(gated: bool = True) -> Composition:
+    """The bank-side peers only (A, O, M): open towards the credit agency.
+
+    Used for modular verification (Section 5): CR becomes the
+    environment, and its behaviour is constrained only by an environment
+    spec such as :data:`ENV_SPEC_RATING_CATEGORIES`.
+    """
+    return Composition([
+        applicant_peer(gated=gated),
+        officer_peer(gated=gated),
+        manager_peer(gated=gated),
+    ])
+
+
+def credit_check_peer() -> Peer:
+    """A focused officer fragment for the Section 5 demonstrations.
+
+    The officer asks the credit agency (the environment) for one rating
+    and records the reply, joined against the customer database.  All
+    environment channels are flat, as Theorem 5.4's environment specs
+    require, and the recorded state cannot accumulate garbage rows (the
+    join pins the ssn), which keeps modular verification fast.
+    """
+    return (
+        PeerBuilder("O")
+        .database("customer", 3)                 # (cId, ssn, name)
+        .input("ask", 1)                         # ssn to check
+        .state("asked", 0)
+        .state("gotRating", 2)                   # (ssn, category)
+        .flat_in_queue("rating", 2)
+        .flat_out_queue("getRating", 1)
+        .input_rule(
+            "ask", ["ssn"],
+            "exists id, name: customer(id, ssn, name) & ~asked",
+        )
+        .insert_rule("asked", [], "exists ssn: ask(ssn)")
+        .send_rule("getRating", ["ssn"], "ask(ssn)")
+        .insert_rule(
+            "gotRating", ["ssn", "r"],
+            "?rating(ssn, r) & (exists id, name: customer(id, ssn, name))",
+        )
+        .build()
+    )
+
+
+def credit_check_composition() -> Composition:
+    """The open single-peer composition for modular verification demos."""
+    return Composition([credit_check_peer()])
+
+
+#: Property for the credit-check composition: recorded ratings use known
+#: categories.  Violated by an unconstrained environment, restored by a
+#: source-observed rating-content spec.
+PROPERTY_RECORDED_CATEGORIES_KNOWN = (
+    "forall ssn, r: G( O.gotRating(ssn, r) -> "
+    '(r = "poor" | r = "fair" | r = "good" | r = "excellent") )'
+)
+
+#: The rating-content environment spec, source-observed form.
+ENV_SPEC_RATING_CONTENT = (
+    "G forall ssn, r: !rating(ssn, r) -> "
+    '(r = "poor" | r = "fair" | r = "good" | r = "excellent")'
+)
+
+
+def standard_database(category: str = "fair") -> dict[str, Instance]:
+    """One applicant ``c1``/``s1`` with the given credit *category*."""
+    if category not in CREDIT_CATEGORIES:
+        raise ValueError(f"unknown credit category {category!r}")
+    return {
+        "A": Instance({"me": [("c1",)]}),
+        "O": Instance({"customer": [("c1", "s1", "ann")]}),
+        "M": Instance({"custs": [("c1",)]}),
+        "CR": Instance({
+            "creditRecord": [("s1", category)],
+            "accounts": [("s1", "acct1", "high")],
+        }),
+    }
+
+
+#: Property (11) of Example 3.2: every received application from a known
+#: customer eventually results in an approval or denial letter.  This is a
+#: *liveness* property; with lossy channels (or unfair scheduling) it is
+#: violated, and the verifier produces the message-loss counterexample.
+PROPERTY_RESPONSIVENESS = (
+    "forall id, l, name, ssn: "
+    "G( (O.?apply(id, l) & O.customer(id, ssn, name)) "
+    "   -> F( O.letter(id, name, l, \"denied\") "
+    "        | O.letter(id, name, l, \"approved\") ) )"
+)
+
+#: Property (12) of Example 3.2 (bank policy): approvals only for
+#: applicants rated excellent or cleared by the manager.
+PROPERTY_BANK_POLICY = (
+    "forall id, name, loan: "
+    "G( ( (exists ssn: CR.!rating(ssn, \"excellent\") "
+    "                 & O.customer(id, ssn, name)) "
+    "     | M.!decision(id, \"approved\") ) "
+    "   B ~O.letter(id, name, loan, \"approved\") )"
+)
+
+#: The bank policy in pointwise form.  The literal (12) above is violated
+#: on any run that writes an approved letter at all: ``G`` re-evaluates
+#: the ``B`` subformula at the letter snapshot itself, where the
+#: triggering rating/decision message has already been dequeued, so the
+#: "before" condition has no earlier positions left to be satisfied in.
+#: (See EXPERIMENTS.md, finding E1-F2.)  This variant states the same
+#: policy pointwise: whenever an approved letter is *about to appear*
+#: (present next step, absent now), the officer must be looking at an
+#: excellent rating or an approval decision right now.
+PROPERTY_BANK_POLICY_POINTWISE = (
+    "forall id, name, loan: "
+    "G( ( X O.letter(id, name, loan, \"approved\") ) "
+    "   & ~O.letter(id, name, loan, \"approved\") "
+    "   -> ( (exists ssn: O.?rating(ssn, \"excellent\") "
+    "                    & O.customer(id, ssn, name)) "
+    "      | O.?decision(id, \"approved\") ) )"
+)
+
+#: The bank-policy property for the open (bank-side) composition, where
+#: the rating channel is read at the officer's end.
+PROPERTY_BANK_POLICY_OPEN = (
+    "forall id, name, loan: "
+    "G( ( (exists ssn: O.?rating(ssn, \"excellent\") "
+    "                 & O.customer(id, ssn, name)) "
+    "     | M.!decision(id, \"approved\") ) "
+    "   B ~O.letter(id, name, loan, \"approved\") )"
+)
+
+#: A related safety property: a letter is only written for customers with
+#: a saved application.
+PROPERTY_LETTER_NEEDS_APPLICATION = (
+    "forall id, name, loan, dec: "
+    "G( O.letter(id, name, loan, dec) -> O.application(id, loan) )"
+)
+
+#: Example 5.1's environment spec (for modular verification of the bank
+#: side against the credit agency): rating replies carry a category from
+#: the known list.
+ENV_SPEC_RATING_CATEGORIES = (
+    "G forall ssn: ?getRating(ssn) -> "
+    "( !rating(ssn, \"poor\") | !rating(ssn, \"fair\") "
+    "| !rating(ssn, \"good\") | !rating(ssn, \"excellent\") )"
+)
+
+#: Default closure-variable candidates for the standard database (sound
+#: for the roles the variables play; dramatically prunes the valuation
+#: enumeration).
+STANDARD_CANDIDATES = {
+    "id": ("c1",),
+    "name": ("ann",),
+    "ssn": ("s1",),
+    "loan": ("small", "large"),
+    "l": ("small", "large"),
+    "dec": ("approved", "denied"),
+}

@@ -1,0 +1,161 @@
+"""Scalable synthetic composition families for benchmarking.
+
+The paper's complexity results (PSPACE for fixed arity, EXPSPACE
+otherwise) are about how verification scales with the specification.
+These generators produce parameterized compositions with known properties:
+
+* :func:`relay_chain` -- ``n`` peers forwarding a token: peer 1's user
+  picks a value from its database, each subsequent peer relays it, the
+  last peer records it.  Scales the number of peers and channels.
+* :func:`relay_ring` -- the same, but the last peer sends back to the
+  first, exercising cyclic channel topologies.
+* :func:`wide_peer` -- a single peer with ``k``-ary state relations,
+  scaling schema arity (the EXPSPACE axis).
+"""
+
+from __future__ import annotations
+
+from ..fo.instance import Instance
+from ..spec.composition import Composition
+from ..spec.peer import Peer, PeerBuilder
+
+
+def _source_peer(name: str, out_queue: str) -> Peer:
+    return (
+        PeerBuilder(name)
+        .database("items", 1)
+        .input("pick", 1)
+        .flat_out_queue(out_queue, 1)
+        .input_rule("pick", ["x"], "items(x)")
+        .send_rule(out_queue, ["x"], "pick(x)")
+        .build()
+    )
+
+
+def _relay_peer(name: str, in_queue: str, out_queue: str) -> Peer:
+    return (
+        PeerBuilder(name)
+        .state("seen", 1)
+        .flat_in_queue(in_queue, 1)
+        .flat_out_queue(out_queue, 1)
+        .insert_rule("seen", ["x"], f"?{in_queue}(x)")
+        .send_rule(out_queue, ["x"], f"?{in_queue}(x)")
+        .build()
+    )
+
+
+def _sink_peer(name: str, in_queue: str) -> Peer:
+    return (
+        PeerBuilder(name)
+        .state("done", 1)
+        .flat_in_queue(in_queue, 1)
+        .insert_rule("done", ["x"], f"?{in_queue}(x)")
+        .build()
+    )
+
+
+def relay_chain(n_relays: int) -> Composition:
+    """Source -> relay_1 -> ... -> relay_n -> sink (closed).
+
+    Property ``forall x: G(sink.done(x) -> source.items(x))`` holds;
+    ``forall x: G(source.pick(x) -> F sink.done(x))`` fails under lossy
+    channels.
+    """
+    if n_relays < 0:
+        raise ValueError("n_relays must be >= 0")
+    peers = [_source_peer("P0", "q0")]
+    for i in range(n_relays):
+        peers.append(_relay_peer(f"P{i + 1}", f"q{i}", f"q{i + 1}"))
+    peers.append(_sink_peer(f"P{n_relays + 1}", f"q{n_relays}"))
+    return Composition(peers)
+
+
+def relay_ring(n_relays: int) -> Composition:
+    """A ring: the source also consumes the last relay's output."""
+    if n_relays < 1:
+        raise ValueError("n_relays must be >= 1")
+    source = (
+        PeerBuilder("P0")
+        .database("items", 1)
+        .input("pick", 1)
+        .state("returned", 1)
+        .flat_in_queue(f"q{n_relays}", 1)
+        .flat_out_queue("q0", 1)
+        .input_rule("pick", ["x"], "items(x)")
+        .send_rule("q0", ["x"], "pick(x)")
+        .insert_rule("returned", ["x"], f"?q{n_relays}(x)")
+        .build()
+    )
+    peers = [source]
+    for i in range(n_relays):
+        peers.append(_relay_peer(f"P{i + 1}", f"q{i}", f"q{i + 1}"))
+    return Composition(peers)
+
+
+def chain_databases(n_relays: int, items: int = 1) -> dict[str, Instance]:
+    """Databases for :func:`relay_chain`/:func:`relay_ring`."""
+    return {
+        "P0": Instance({
+            "items": [(f"v{i}",) for i in range(items)]
+        }),
+    }
+
+
+def chain_safety_property(n_relays: int) -> str:
+    """Holds: values reaching the sink come from the source database."""
+    sink = f"P{n_relays + 1}"
+    return f"forall x: G( {sink}.done(x) -> P0.items(x) )"
+
+
+def chain_liveness_property(n_relays: int) -> str:
+    """Fails under lossy channels: picked values eventually arrive."""
+    sink = f"P{n_relays + 1}"
+    return f"forall x: G( P0.pick(x) -> F {sink}.done(x) )"
+
+
+def wide_peer(arity: int) -> Composition:
+    """A two-peer composition whose state/message arity is *arity*.
+
+    Scales the schema arity (the axis along which the paper's complexity
+    jumps from PSPACE to EXPSPACE).  The sender picks a row of its
+    ``wide`` database and ships it; the receiver stores it.
+    """
+    if arity < 1:
+        raise ValueError("arity must be >= 1")
+    xs = [f"x{i}" for i in range(arity)]
+    var_list = ", ".join(xs)
+    sender = (
+        PeerBuilder("W")
+        .database("wide", arity)
+        .input("pick", arity)
+        .flat_out_queue("ship", arity)
+        .input_rule("pick", xs, f"wide({var_list})")
+        .send_rule("ship", xs, f"pick({var_list})")
+        .build()
+    )
+    receiver = (
+        PeerBuilder("V")
+        .state("stored", arity)
+        .flat_in_queue("ship", arity)
+        .insert_rule("stored", xs, f"?ship({var_list})")
+        .build()
+    )
+    return Composition([sender, receiver])
+
+
+def wide_databases(arity: int, rows: int = 1) -> dict[str, Instance]:
+    """Databases for :func:`wide_peer`: *rows* constant-distinct rows."""
+    return {
+        "W": Instance({
+            "wide": [
+                tuple(f"r{r}c{i}" for i in range(arity))
+                for r in range(rows)
+            ]
+        }),
+    }
+
+
+def wide_safety_property(arity: int) -> str:
+    """Holds: stored rows come from the wide database."""
+    xs = ", ".join(f"x{i}" for i in range(arity))
+    return f"forall {xs}: G( V.stored({xs}) -> W.wide({xs}) )"

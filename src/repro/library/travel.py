@@ -1,0 +1,133 @@
+"""A travel-booking composition in the spirit of the paper's [11] models.
+
+An Expedia-like flow with two independent suppliers -- nested messages
+carry *sets* of offers, exercising the nested-queue machinery:
+
+* ``Agency``  -- the traveler picks a destination; the agency fans out
+  quote requests to the airline and the hotel chain, collects the offer
+  sets, and lets the traveler book one flight.
+* ``Air``     -- the airline: replies to a quote request with the set of
+  flights serving the destination (a nested message).
+* ``Hotel``   -- the hotel chain: same shape for rooms.
+
+Channels::
+
+    Agency --qfly--> Air   --flights--> Agency      (flights nested)
+    Agency --qhotel--> Hotel --rooms--> Agency      (rooms nested)
+    Agency --bookFly--> Air  --fconf--> Agency
+"""
+
+from __future__ import annotations
+
+from ..fo.instance import Instance
+from ..spec.composition import Composition
+from ..spec.peer import Peer, PeerBuilder
+
+
+def agency_peer() -> Peer:
+    return (
+        PeerBuilder("Agency")
+        .database("dests", 1)                   # destinations on offer
+        .input("choose", 1)                     # destination
+        .input("book", 1)                       # destination to book
+        .state("searching", 1)                  # destination
+        .state("flightOffers", 2)               # (flight, dest)
+        .state("roomOffers", 2)                 # (room, dest)
+        .state("booked", 2)                     # (flight, dest)
+        .action("itinerary", 2)                 # (flight, dest)
+        .flat_out_queue("qfly", 1)
+        .flat_out_queue("qhotel", 1)
+        .flat_out_queue("bookFly", 1)
+        .nested_in_queue("flights", 2)          # (flight, dest)
+        .nested_in_queue("rooms", 2)            # (room, dest)
+        .flat_in_queue("fconf", 2)              # (flight, dest)
+        .input_rule("choose", ["d"], "dests(d)")
+        .insert_rule("searching", ["d"], "choose(d)")
+        .send_rule("qfly", ["d"], "choose(d)")
+        .send_rule("qhotel", ["d"], "choose(d)")
+        .insert_rule("flightOffers", ["f", "d"], "?flights(f, d)")
+        .insert_rule("roomOffers", ["r", "d"], "?rooms(r, d)")
+        # the traveler books the destination searched most recently
+        .input_rule("book", ["d"], "prev_choose(d)")
+        .send_rule("bookFly", ["d"], "book(d)")
+        .insert_rule("booked", ["f", "d"], "?fconf(f, d)")
+        .action_rule("itinerary", ["f", "d"], "?fconf(f, d)")
+        .build()
+    )
+
+
+def airline_peer() -> Peer:
+    return (
+        PeerBuilder("Air")
+        .database("flights_db", 2)              # (flight, dest)
+        .state("sold", 2)
+        .flat_in_queue("qfly", 1)
+        .flat_in_queue("bookFly", 1)
+        .nested_out_queue("flights", 2)
+        .flat_out_queue("fconf", 2)
+        .send_rule(
+            "flights", ["f", "d"],
+            "?qfly(d) & flights_db(f, d)",
+        )
+        # several flights may serve the destination: the flat-send
+        # discipline (nondeterministic pick or error flag) applies
+        .send_rule(
+            "fconf", ["f", "d"],
+            "?bookFly(d) & flights_db(f, d)",
+        )
+        .insert_rule(
+            "sold", ["f", "d"],
+            "?bookFly(d) & flights_db(f, d)",
+        )
+        .build()
+    )
+
+
+def hotel_peer() -> Peer:
+    return (
+        PeerBuilder("Hotel")
+        .database("rooms_db", 2)                # (room, dest)
+        .flat_in_queue("qhotel", 1)
+        .nested_out_queue("rooms", 2)
+        .send_rule(
+            "rooms", ["r", "d"],
+            "?qhotel(d) & rooms_db(r, d)",
+        )
+        .build()
+    )
+
+
+def travel_composition() -> Composition:
+    """The closed three-peer travel composition."""
+    return Composition([agency_peer(), airline_peer(), hotel_peer()])
+
+
+def standard_database() -> dict[str, Instance]:
+    """One destination with one flight and one room."""
+    return {
+        "Agency": Instance({"dests": [("rome",)]}),
+        "Air": Instance({"flights_db": [("fl1", "rome")]}),
+        "Hotel": Instance({"rooms_db": [("rm1", "rome")]}),
+    }
+
+
+#: Safety (holds): itineraries only for flights the airline confirmed,
+#: which in turn requires the flight to exist in the airline's database.
+PROPERTY_ITINERARY_CONFIRMED = (
+    "forall f, d: "
+    "G( Agency.itinerary(f, d) -> Air.flights_db(f, d) )"
+)
+
+#: Safety (holds): collected flight offers serve a destination that was
+#: searched at some point (offers come only from quote replies).
+PROPERTY_OFFERS_FROM_CATALOG = (
+    "forall f, d: "
+    "G( Agency.flightOffers(f, d) -> Air.flights_db(f, d) )"
+)
+
+#: Liveness (fails under lossy channels): a booking is eventually
+#: confirmed with some flight.
+PROPERTY_BOOKING_CONFIRMED = (
+    "forall d: "
+    "G( Agency.book(d) -> F Agency.itinerary(\"fl1\", d) )"
+)

@@ -1,0 +1,21 @@
+"""Propositional LTL, Büchi automata, LTL->NBA translation, complementation."""
+
+from .formulas import (
+    AP, LAnd, LAtom, LFALSE, LFalse, LNext, LNot, LOr, LRelease, LTRUE,
+    LTLFormula, LTrue, LUntil, atom_payloads, evaluate_on_word, land, latom,
+    lbefore, lchildren, lfinally, lglobally, limplies, lnext, lnot, lor,
+    lrelease, luntil, lwalk, to_nnf,
+)
+from .buchi import BuchiAutomaton, Edge, GeneralizedBuchi, Guard, TRUE_GUARD
+from .translate import ltl_to_buchi, ltl_to_generalized_buchi
+from .complement import complement
+
+__all__ = [
+    "AP", "BuchiAutomaton", "Edge", "GeneralizedBuchi", "Guard", "LAnd",
+    "LAtom", "LFALSE", "LFalse", "LNext", "LNot", "LOr", "LRelease",
+    "LTRUE", "LTLFormula", "LTrue", "LUntil", "TRUE_GUARD", "atom_payloads",
+    "complement", "evaluate_on_word", "land", "latom", "lbefore",
+    "lchildren", "lfinally", "lglobally", "limplies", "lnext", "lnot",
+    "lor", "lrelease", "ltl_to_buchi", "ltl_to_generalized_buchi", "luntil",
+    "lwalk", "to_nnf",
+]

@@ -1,0 +1,208 @@
+"""Büchi complementation via the rank-based (Kupferman-Vardi) construction.
+
+Conversation protocols (Section 4) are given as Büchi automata ``B`` over
+the message alphabet; a composition satisfies the protocol iff every run's
+trace lies in ``L(B)``.  Checking this requires an automaton for the
+*complement* language.  For protocols specified in LTL we negate the
+formula instead, but for protocols given directly as automata we complement
+with the classic rank-based construction:
+
+States of the complement are pairs ``(ranking, obligation)`` where
+
+* ``ranking`` maps each tracked state of ``B`` to a rank in ``0..2n``
+  (accepting states of ``B`` only take even ranks), and
+* ``obligation`` is the subset of even-ranked tracked states that still
+  have to decrease to an odd rank.
+
+A run of the complement is accepting iff the obligation set empties
+infinitely often.  The construction is worst-case ``2^O(n log n)``; we use
+it for the small protocol automata only (guarded by a size check).
+
+Alphabet letters are explicit subsets of the AP set, so this module is
+intended for automata with few atomic propositions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping
+
+from ..errors import VerificationError
+from .buchi import BuchiAutomaton, Edge, Guard, Letter
+
+#: A ranking: immutable mapping state -> rank, as a sorted tuple of pairs.
+Ranking = tuple[tuple[object, int], ...]
+
+
+def _letter_guard(letter: Letter, aps: frozenset) -> Guard:
+    """Guard satisfied exactly by *letter* over the AP universe *aps*."""
+    return Guard(pos=frozenset(letter), neg=aps - letter)
+
+
+def _rankings(domain: list, max_rank: Mapping, accepting: frozenset
+              ) -> Iterable[Ranking]:
+    """All rankings of *domain* bounded by *max_rank*, even on accepting."""
+    choices: list[list[int]] = []
+    for q in domain:
+        allowed = range(0, max_rank[q] + 1)
+        if q in accepting:
+            choices.append([r for r in allowed if r % 2 == 0])
+        else:
+            choices.append(list(allowed))
+    for combo in itertools.product(*choices):
+        yield tuple(zip(domain, combo))
+
+
+def is_deterministic(automaton: BuchiAutomaton) -> bool:
+    """True iff the automaton has one initial state and, for every state
+    and letter, at most one successor."""
+    if len(automaton.initial) != 1:
+        return False
+    for state in automaton.states:
+        for letter in automaton.alphabet():
+            if len(automaton.successors(state, letter)) > 1:
+                return False
+    return True
+
+
+def complement_deterministic(automaton: BuchiAutomaton) -> BuchiAutomaton:
+    """Complement of a *deterministic* Büchi automaton.
+
+    A word is rejected by a DBA iff its (unique) run visits accepting
+    states only finitely often, or dies.  The complement guesses the point
+    after which no accepting state is visited: it runs a copy of the
+    automaton, nondeterministically jumps into a second track restricted to
+    non-accepting states, and accepts when it stays there forever.  A sink
+    state accepts words whose run dies.
+    """
+    letters = list(automaton.alphabet())
+    aps = automaton.aps
+    sink = ("__dead__",)
+    states: set = {("wait", s) for s in automaton.states}
+    states |= {("avoid", s) for s in automaton.states
+               if s not in automaton.accepting}
+    states.add(sink)
+    edges: list[Edge] = []
+    for state in automaton.states:
+        for letter in letters:
+            guard = _letter_guard(letter, aps)
+            succs = automaton.successors(state, letter)
+            if not succs:
+                edges.append(Edge(("wait", state), guard, sink))
+                if state not in automaton.accepting:
+                    edges.append(Edge(("avoid", state), guard, sink))
+                continue
+            for dst in succs:
+                edges.append(Edge(("wait", state), guard, ("wait", dst)))
+                if dst not in automaton.accepting:
+                    edges.append(
+                        Edge(("wait", state), guard, ("avoid", dst))
+                    )
+                    if state not in automaton.accepting:
+                        edges.append(
+                            Edge(("avoid", state), guard, ("avoid", dst))
+                        )
+    for letter in letters:
+        edges.append(Edge(sink, _letter_guard(letter, aps), sink))
+    initial = {("wait", s) for s in automaton.initial}
+    accepting = {s for s in states if s == sink or s[0] == "avoid"}
+    return BuchiAutomaton(states, initial, edges, accepting, aps)
+
+
+def complement(automaton: BuchiAutomaton,
+               max_states: int = 200_000) -> BuchiAutomaton:
+    """An NBA accepting exactly the words *automaton* rejects.
+
+    Deterministic automata are complemented with the cheap two-track
+    construction; nondeterministic ones fall back to the rank-based
+    construction, which is guarded by a size check (protocol automata are
+    small; anything larger should be expressed in LTL, where negation is
+    free).
+
+    Raises :class:`VerificationError` if the construction would exceed
+    *max_states* states.
+    """
+    n = len(automaton.states)
+    if len(automaton.aps) > 10:
+        raise VerificationError(
+            "complementation requires an explicit alphabet; "
+            f"{len(automaton.aps)} APs is too many"
+        )
+    if is_deterministic(automaton):
+        return complement_deterministic(automaton)
+    if n > 5:
+        raise VerificationError(
+            f"rank-based complementation limited to 5 states, got {n}; "
+            "specify the protocol in LTL or as a deterministic automaton"
+        )
+    top = 2 * n
+    letters = list(automaton.alphabet())
+    aps = automaton.aps
+
+    initial_ranking: Ranking = tuple(
+        sorted(((q, top) for q in automaton.initial), key=lambda p: str(p[0]))
+    )
+    initial_state = (initial_ranking, frozenset())
+
+    states: set = set()
+    edges: list[Edge] = []
+    frontier = [initial_state]
+    states.add(initial_state)
+
+    while frontier:
+        state = frontier.pop()
+        ranking, obligation = state
+        rank_of = dict(ranking)
+        for letter in letters:
+            # successor domain and the per-state rank ceiling
+            max_rank: dict = {}
+            for q, rank in ranking:
+                for q2 in automaton.successors(q, letter):
+                    prev = max_rank.get(q2)
+                    max_rank[q2] = rank if prev is None else min(prev, rank)
+            domain = sorted(max_rank, key=str)
+            if not domain:
+                # automaton has no run: complement accepts via the sink
+                sink = ((), frozenset())
+                if sink not in states:
+                    states.add(sink)
+                    frontier.append(sink)
+                edges.append(
+                    Edge(state, _letter_guard(letter, aps), sink)
+                )
+                continue
+            for next_ranking in _rankings(domain, max_rank,
+                                          automaton.accepting):
+                next_rank_of = dict(next_ranking)
+                if obligation:
+                    successors_of_o: set = set()
+                    for q in obligation:
+                        successors_of_o |= automaton.successors(q, letter)
+                    next_obligation = frozenset(
+                        q for q in successors_of_o
+                        if q in next_rank_of and next_rank_of[q] % 2 == 0
+                    )
+                else:
+                    next_obligation = frozenset(
+                        q for q, r in next_ranking if r % 2 == 0
+                    )
+                next_state = (next_ranking, next_obligation)
+                if next_state not in states:
+                    if len(states) >= max_states:
+                        raise VerificationError(
+                            f"complementation exceeded {max_states} states"
+                        )
+                    states.add(next_state)
+                    frontier.append(next_state)
+                edges.append(
+                    Edge(state, _letter_guard(letter, aps), next_state)
+                )
+
+    # the empty-domain sink loops forever with empty obligation
+    sink = ((), frozenset())
+    if sink in states:
+        for letter in letters:
+            edges.append(Edge(sink, _letter_guard(letter, aps), sink))
+
+    accepting = {s for s in states if not s[1]}
+    return BuchiAutomaton(states, {initial_state}, edges, accepting, aps)

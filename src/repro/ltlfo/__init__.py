@@ -1,0 +1,12 @@
+"""LTL-FO sentences (Definition 3.1) over composition schemas."""
+
+from .formulas import (
+    LTLFOSentence, lift_fo, map_payloads, relativize,
+    rename_payload_relations, sentence,
+)
+from .parser import LTLFOParser, parse_ltlfo
+
+__all__ = [
+    "LTLFOParser", "LTLFOSentence", "lift_fo", "map_payloads",
+    "parse_ltlfo", "relativize", "rename_payload_relations", "sentence",
+]

@@ -1,0 +1,196 @@
+"""Parser for LTL-FO sentences in the paper's surface syntax.
+
+Extends the FO grammar with the temporal operators ``X``, ``U`` (core),
+``G``, ``F``, ``B`` (the paper's shorthands) and ``R``, ``W`` is not used
+by the paper and is omitted.  Examples::
+
+    forall id, l, name, ssn:
+      G( (O.?apply(id, l) & O.customer(id, ssn, name))
+         -> F( O.letter(id, name, l, "denied")
+             | O.letter(id, name, l, "approved") ) )
+
+    forall id, name, loan:
+      ( (exists ssn: CR.!rating(ssn, "excellent")
+                     & O.customer(id, ssn, name))
+        | M.!decision(id, "approved") )
+      B ~O.letter(id, name, loan, "approved")
+
+Parsing rules:
+
+* The temporal keywords are the single capital letters ``X G F U B R``;
+  they are reserved (use longer names for relations/variables).
+* Boolean connectives between two pure-FO operands stay FO (so maximal FO
+  subformulas become the atomic propositions); any operand that contains a
+  temporal operator lifts the whole node to the temporal level.
+* Quantifiers may not scope over temporal operators, except that a prefix
+  of leading ``forall`` blocks whose body is temporal becomes the
+  sentence's universal closure (Definition 3.1).
+* Precedence, loosest first: ``<->``, ``->``, ``U``/``B``/``R`` (right
+  associative), ``|``, ``&``, unary (``~ X G F``, quantifiers).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import ParseError
+from ..fo import formulas as fo
+from ..fo.parser import ParserBase
+from ..fo.schema import Schema
+from ..ltl import formulas as ltl
+from .formulas import LTLFOSentence, lift_fo, sentence
+
+#: During parsing a node is either still pure FO or already temporal.
+Mixed = Union[fo.Formula, ltl.LTLFormula]
+
+_TEMPORAL_UNARY = {"X", "G", "F"}
+_TEMPORAL_BINARY = {"U", "B", "R"}
+_RESERVED = _TEMPORAL_UNARY | _TEMPORAL_BINARY
+
+
+def _is_fo(node: Mixed) -> bool:
+    return isinstance(node, (
+        fo.TrueF, fo.FalseF, fo.Atom, fo.Eq, fo.Not, fo.And, fo.Or,
+        fo.Implies, fo.Exists, fo.Forall,
+    ))
+
+
+def _lift(node: Mixed) -> ltl.LTLFormula:
+    return lift_fo(node) if _is_fo(node) else node
+
+
+class LTLFOParser(ParserBase):
+    """Recursive-descent parser producing :class:`LTLFOSentence`."""
+
+    def parse_sentence(self) -> LTLFOSentence:
+        closure_vars: list = []
+        # leading universal blocks: consumed tentatively; if the body turns
+        # out to be pure FO they are folded back into FO quantifiers
+        saved_positions: list[int] = []
+        while (self.peek().text == "forall"
+               and self.peek().kind == "ident"):
+            saved_positions.append(self.index)
+            self.advance()
+            closure_vars.extend(self.parse_var_list())
+        body = self.parse_mixed()
+        if self.peek().kind != "eof":
+            raise self.error(
+                f"unexpected trailing input {self.peek().text!r}"
+            )
+        # universal closure: the declared prefix variables first, then any
+        # remaining free variables (the paper closes sentences implicitly)
+        lifted = _lift(body)
+        declared = {v.name for v in closure_vars}
+        auto = sentence(lifted)  # auto-closure computes the free variables
+        extra = [v for v in auto.variables if v.name not in declared]
+        return sentence(lifted, tuple(closure_vars) + tuple(extra))
+
+    # -- precedence chain -------------------------------------------------
+
+    def parse_mixed(self) -> Mixed:
+        return self.parse_iff()
+
+    def parse_iff(self) -> Mixed:
+        left = self.parse_implies()
+        while self.accept("<->"):
+            right = self.parse_implies()
+            if _is_fo(left) and _is_fo(right):
+                left = fo.conj(fo.implies(left, right),
+                               fo.implies(right, left))
+            else:
+                lt, rt = _lift(left), _lift(right)
+                left = ltl.land(ltl.limplies(lt, rt), ltl.limplies(rt, lt))
+        return left
+
+    def parse_implies(self) -> Mixed:
+        left = self.parse_temporal_binary()
+        if self.accept("->"):
+            right = self.parse_implies()
+            if _is_fo(left) and _is_fo(right):
+                return fo.implies(left, right)
+            return ltl.limplies(_lift(left), _lift(right))
+        return left
+
+    def parse_temporal_binary(self) -> Mixed:
+        left = self.parse_or()
+        tok = self.peek()
+        if tok.kind == "ident" and tok.text in _TEMPORAL_BINARY:
+            op = self.advance().text
+            right = self.parse_temporal_binary()  # right associative
+            lt, rt = _lift(left), _lift(right)
+            if op == "U":
+                return ltl.luntil(lt, rt)
+            if op == "B":
+                return ltl.lbefore(lt, rt)
+            return ltl.lrelease(lt, rt)
+        return left
+
+    def parse_or(self) -> Mixed:
+        parts: list[Mixed] = [self.parse_and()]
+        while self.accept("|") or self.accept("or"):
+            parts.append(self.parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        if all(_is_fo(p) for p in parts):
+            return fo.disj(*parts)
+        return ltl.lor(*[_lift(p) for p in parts])
+
+    def parse_and(self) -> Mixed:
+        parts: list[Mixed] = [self.parse_unary()]
+        while self.accept("&") or self.accept("and"):
+            parts.append(self.parse_unary())
+        if len(parts) == 1:
+            return parts[0]
+        if all(_is_fo(p) for p in parts):
+            return fo.conj(*parts)
+        return ltl.land(*[_lift(p) for p in parts])
+
+    def parse_unary(self) -> Mixed:
+        tok = self.peek()
+        if tok.text == "~" or tok.text == "not":
+            self.advance()
+            body = self.parse_unary()
+            if _is_fo(body):
+                return fo.neg(body)
+            return ltl.lnot(body)
+        if tok.kind == "ident" and tok.text in _TEMPORAL_UNARY:
+            self.advance()
+            body = _lift(self.parse_unary())
+            if tok.text == "X":
+                return ltl.lnext(body)
+            if tok.text == "G":
+                return ltl.lglobally(body)
+            return ltl.lfinally(body)
+        if tok.text in ("exists", "forall") and tok.kind == "ident":
+            quant = self.advance().text
+            variables = self.parse_var_list()
+            # quantifier scope extends as far right as possible, but must
+            # remain first-order (Definition 3.1)
+            body = self.parse_mixed()
+            if not _is_fo(body):
+                raise ParseError(
+                    "quantifiers may not scope over temporal operators "
+                    "(Definition 3.1); only a leading 'forall' prefix may "
+                    "close a temporal formula",
+                    position=tok.pos, text=self.text,
+                )
+            if quant == "exists":
+                return fo.exists(variables, body)
+            return fo.forall(variables, body)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Mixed:
+        if self.accept("true"):
+            return fo.TRUE
+        if self.accept("false"):
+            return fo.FALSE
+        if self.accept("("):
+            inner = self.parse_mixed()
+            self.expect(")")
+            return inner
+        return self.parse_atom_or_equality()
+
+
+def parse_ltlfo(text: str, schema: Schema | None = None) -> LTLFOSentence:
+    """Parse an LTL-FO sentence, optionally validating against *schema*."""
+    return LTLFOParser(text, schema).parse_sentence()

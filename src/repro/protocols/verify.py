@@ -1,0 +1,218 @@
+"""Protocol-compliance checking (Theorems 4.2 and 4.5).
+
+A composition satisfies a conversation protocol iff every run's trace is
+accepted by the protocol automaton.  Verification searches the product of
+the composition's snapshot graph with an automaton for the *complement*
+of the protocol language (negated LTL, or rank/DBA complementation for
+automaton-given protocols) for an accepting lasso.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping
+
+from ..errors import VerificationError
+from ..fo import formulas as fo
+from ..fo.evaluator import evaluate
+from ..fo.instance import Instance
+from ..ltl.buchi import BuchiAutomaton
+from ..ltl.formulas import land, latom, lfinally
+from ..ltl.translate import ltl_to_buchi
+from ..runtime.run import Lasso
+from ..runtime.state import GlobalState, snapshot_view
+from ..spec.channels import ChannelSemantics, DECIDABLE_DEFAULT
+from ..spec.composition import Composition
+from ..verifier.atoms import OccursAtom
+from ..verifier.domain import (
+    VerificationDomain, canonical_valuations, verification_domain,
+)
+from ..verifier.product import ProductSystem, SearchBudget, TransitionCache
+from ..verifier.result import (
+    Counterexample, Stopwatch, VerificationResult, VerifierStats,
+)
+from ..verifier.search import find_accepting_lasso
+from .base import AgnosticProtocol, DataAwareProtocol, Observer
+
+
+class CallbackEvaluator:
+    """Per-state AP valuation driven by a callback, with caching.
+
+    Duck-type compatible with
+    :class:`~repro.verifier.atoms.SnapshotEvaluator` as used by
+    :class:`~repro.verifier.product.ProductSystem`.
+    """
+
+    def __init__(self, aps: frozenset,
+                 truth: Callable[[Hashable, GlobalState], bool]) -> None:
+        self.aps = aps
+        self._truth = truth
+        self._cache: dict[GlobalState, frozenset] = {}
+
+    def letter(self, state: GlobalState) -> frozenset:
+        cached = self._cache.get(state)
+        if cached is None:
+            cached = frozenset(
+                ap for ap in self.aps if self._truth(ap, state)
+            )
+            self._cache[state] = cached
+        return cached
+
+
+def _search(composition: Composition, cache: TransitionCache,
+            nba: BuchiAutomaton, evaluator, stats: VerifierStats,
+            valuation: Mapping[str, object], text: str
+            ) -> Counterexample | None:
+    product = ProductSystem(cache, nba, evaluator)
+    lasso_nodes, search_stats = find_accepting_lasso(product)
+    stats.merge_search(search_stats.blue_visited, search_stats.red_visited)
+    stats.nba_states_total += nba.num_states()
+    if lasso_nodes is None:
+        return None
+    return Counterexample(
+        valuation=dict(valuation),
+        lasso=Lasso(
+            tuple(n[0] for n in lasso_nodes.prefix),
+            tuple(n[0] for n in lasso_nodes.cycle),
+        ),
+        property_text=text,
+    )
+
+
+def verify_agnostic(composition: Composition,
+                    protocol: AgnosticProtocol,
+                    databases: Mapping[str, Instance],
+                    semantics: ChannelSemantics = DECIDABLE_DEFAULT,
+                    domain: VerificationDomain | None = None,
+                    budget: SearchBudget | None = None,
+                    transition_cache: TransitionCache | None = None,
+                    ) -> VerificationResult:
+    """Check compliance with a data-agnostic protocol (Theorem 4.2).
+
+    Observer-at-source protocols are checked with the same product
+    machinery (letters become send events).  For a fixed database and
+    domain the check is exact; Theorem 4.3's undecidability concerns the
+    unrestricted problem.
+    """
+    unknown = set(protocol.alphabet) - {
+        c.name for c in composition.channels
+    }
+    if unknown:
+        raise VerificationError(
+            f"protocol alphabet mentions unknown channels {sorted(unknown)}"
+        )
+    if domain is None:
+        domain = verification_domain(composition, [], databases)
+    stats = VerifierStats()
+    cache = transition_cache or TransitionCache(
+        composition, databases, domain.values, semantics, budget=budget,
+    )
+    text = (f"agnostic protocol over {sorted(protocol.alphabet)} "
+            f"({protocol.observer.value})")
+    with Stopwatch(stats):
+        stats.valuations_checked = 1
+        nba = protocol.violation_automaton()
+        evaluator = CallbackEvaluator(
+            frozenset(nba.aps),
+            lambda ap, state: ap in protocol.letter_of(state),
+        )
+        counterexample = _search(composition, cache, nba, evaluator,
+                                 stats, {}, text)
+        stats.system_states = cache.states_expanded
+    return VerificationResult(
+        satisfied=counterexample is None,
+        property_text=text,
+        counterexample=counterexample,
+        stats=stats,
+        domain_description=domain.describe(),
+        semantics_description=semantics.describe(),
+    )
+
+
+def verify_aware(composition: Composition,
+                 protocol: DataAwareProtocol,
+                 databases: Mapping[str, Instance],
+                 semantics: ChannelSemantics = DECIDABLE_DEFAULT,
+                 domain: VerificationDomain | None = None,
+                 budget: SearchBudget | None = None,
+                 transition_cache: TransitionCache | None = None,
+                 ) -> VerificationResult:
+    """Check compliance with a data-aware protocol (Theorem 4.5).
+
+    The protocol's free variables are universally quantified over the
+    run's active domain: each canonical valuation is checked separately,
+    with ``F occurs(v)`` constraints forcing fresh valuation values to
+    appear in the counterexample run (mirroring the LTL-FO verifier).
+    """
+    variables = protocol.free_variables()
+    if domain is None:
+        domain = verification_domain(composition, [], databases)
+        if protocol.constants() - set(domain.constants):
+            extra = tuple(sorted(
+                set(protocol.constants()) - set(domain.constants),
+                key=str,
+            ))
+            domain = VerificationDomain(
+                domain.constants + extra, domain.fresh
+            )
+    stats = VerifierStats()
+    cache = transition_cache or TransitionCache(
+        composition, databases, domain.values, semantics, budget=budget,
+    )
+    text = f"data-aware protocol over {sorted(protocol.symbols)}"
+    violation = protocol.violation_automaton()
+
+    counterexample: Counterexample | None = None
+    with Stopwatch(stats):
+        for valuation in canonical_valuations(variables, domain):
+            stats.valuations_checked += 1
+            instantiated = {
+                name: fo.instantiate(formula, valuation)
+                for name, formula in protocol.symbols.items()
+            }
+            occurs_values = [
+                v for v in set(valuation.values())
+                if v not in domain.constants
+            ]
+            nba = violation
+            if occurs_values:
+                occurs_nba = ltl_to_buchi(land(*[
+                    lfinally(latom(OccursAtom(v))) for v in occurs_values
+                ]))
+                nba = violation.intersection(occurs_nba)
+
+            view_cache: dict[GlobalState, Instance] = {}
+
+            def truth(ap, state, _inst=instantiated, _vc=view_cache):
+                if isinstance(ap, OccursAtom):
+                    return ap.value in state.active_domain()
+                view = _vc.get(state)
+                if view is None:
+                    view = snapshot_view(state, composition)
+                    _vc[state] = view
+                return evaluate(_inst[ap], view, domain.values)
+
+            evaluator = CallbackEvaluator(frozenset(nba.aps), truth)
+            counterexample = _search(
+                composition, cache, nba, evaluator, stats,
+                {v.name: val for v, val in valuation.items()}, text,
+            )
+            if counterexample is not None:
+                break
+        stats.system_states = cache.states_expanded
+
+    return VerificationResult(
+        satisfied=counterexample is None,
+        property_text=text,
+        counterexample=counterexample,
+        stats=stats,
+        domain_description=domain.describe(),
+        semantics_description=semantics.describe(),
+    )
+
+
+def trace_of(lasso: Lasso, protocol: AgnosticProtocol
+             ) -> tuple[list[frozenset], list[frozenset]]:
+    """The protocol-alphabet trace (prefix, cycle) of a lasso run."""
+    prefix = [protocol.letter_of(s) for s in lasso.prefix]
+    cycle = [protocol.letter_of(s) for s in lasso.cycle]
+    return prefix, cycle

@@ -1,0 +1,27 @@
+"""Executable material for the undecidability frontier (Sections 3.2/4/5)."""
+
+from .minsky import (
+    CounterMachine, HALT, Inc, MachineRun, Test, count_up_down,
+    diverging_machine, ping_pong_machine, run_machine, transfer_machine,
+)
+from .pcp import (
+    PCPInstance, SOLVABLE, UNSOLVABLE, enumerate_solutions, solve_bounded,
+)
+from .halting import (
+    BOTTOM, clock_peer, driver_peer, halting_search_property,
+    machine_composition, machine_databases,
+)
+from .frontier import (
+    deterministic_send_gadget, emptiness_test_gadget,
+    nonground_nested_gadget, nonground_nested_peer,
+)
+
+__all__ = [
+    "BOTTOM", "CounterMachine", "HALT", "Inc", "MachineRun", "PCPInstance",
+    "SOLVABLE", "Test", "UNSOLVABLE", "clock_peer", "count_up_down",
+    "deterministic_send_gadget", "diverging_machine", "driver_peer",
+    "emptiness_test_gadget", "enumerate_solutions",
+    "halting_search_property", "machine_composition", "machine_databases",
+    "nonground_nested_gadget", "nonground_nested_peer",
+    "ping_pong_machine", "run_machine", "solve_bounded", "transfer_machine",
+]

@@ -1,0 +1,311 @@
+"""Executable gadget for the undecidability frontier (Theorem 3.7 family).
+
+Theorems 3.7/3.8 prove verification undecidable for perfect (respectively
+deterministic-send lossy) 1-bounded flat queues, by reduction from the
+halting problem for two-counter machines.  The extended report's exact
+encodings are not public; this module provides an *executable* encoding
+with the same computational content, so the frontier can be demonstrated
+empirically:
+
+* :func:`machine_composition` compiles a :class:`CounterMachine` into a
+  two-peer composition.  The ``Driver`` peer holds the control state and
+  the two counters as successor chains in its state relations; its user
+  supplies the data the simulation needs (a fresh chain value for each
+  increment, the claimed predecessor pair for each decrement).  The
+  ``Clock`` peer paces the simulation through a ``tick``/``tock``
+  handshake over flat 1-bounded queues, so machine steps only happen when
+  the handshake message arrives -- the role perfect channels play in the
+  paper's reduction.
+* :func:`halting_search_property` builds the property ``phi`` such that a
+  violation of ``phi`` is exactly a *faithful* halting computation: the
+  negation of ``phi`` conjoins the validation conditions (fresh values
+  are really fresh; claimed predecessors really are the top of the
+  chain) with ``F halted``.
+
+Running the verifier on ``(composition, phi)`` with a data domain of at
+least ``peak_space + 1`` fresh values finds a counterexample iff the
+machine halts within that space (the demonstrated direction of the
+reduction).  For non-halting machines the bounded-domain search is
+exhausted without a witness.
+
+Honest scope note: the validation payloads quantify variables that touch
+state atoms, which exceeds the *literal* input-bounded property fragment
+(the peers themselves are input-bounded).  The paper's non-public
+encoding stays inside the fragment with a more intricate construction;
+what is preserved here -- and what the benchmarks demonstrate -- is the
+executable direction: halting computations are exactly the property
+violations.
+"""
+
+from __future__ import annotations
+
+from ..fo import formulas as fo
+from ..fo.instance import Instance
+from ..ltl.formulas import LTLFormula, land, lfinally, lglobally, lnot
+from ..ltlfo.formulas import LTLFOSentence, lift_fo
+from ..spec.composition import Composition
+from ..spec.peer import Peer, PeerBuilder
+from .minsky import HALT, CounterMachine, Inc, Test
+
+#: Chain-bottom marker (counter value 0 = top points at the bottom).
+BOTTOM = "@bot"
+
+DRIVER = "Driver"
+CLOCK = "Clock"
+
+
+def _state_const(state: str) -> str:
+    return f"@{state}"
+
+
+def _disj(parts: list[fo.Formula]) -> fo.Formula:
+    return fo.disj(*parts) if parts else fo.FALSE
+
+
+def _inc_states(machine: CounterMachine) -> list[str]:
+    return sorted(
+        s for s, i in machine.program.items() if isinstance(i, Inc)
+    )
+
+
+def _test_states(machine: CounterMachine, counter: int) -> list[str]:
+    return sorted(
+        s for s, i in machine.program.items()
+        if isinstance(i, Test) and i.counter == counter
+    )
+
+
+def driver_peer(machine: CounterMachine) -> Peer:
+    """The peer simulating *machine* (control state + counter chains)."""
+    v = fo.Var
+    at = lambda s: fo.atom("at", _state_const(s))        # noqa: E731
+    tick = fo.Atom("tick", ())
+
+    builder = (
+        PeerBuilder(DRIVER)
+        .state("at", 1)                 # current control state (constant)
+        .state("initialized", 0)
+        .state("halted", 0)
+        .state("top1", 1)
+        .state("top2", 1)
+        .state("succ1", 2)
+        .state("succ2", 2)
+        .input("fresh", 1)              # chain value for increments
+        .input("dec1", 2)               # claimed (predecessor, top) for c1
+        .input("dec2", 2)
+        .flat_in_queue("tick", 0)
+        .flat_out_queue("tock", 0)
+    )
+
+    init = fo.Atom("initialized", ())
+    not_init = fo.neg(init)
+
+    # ---- input option rules (exists*, ground state atoms only) --------
+    inc_guard = _disj([at(s) for s in _inc_states(machine)])
+    builder.input_rule("fresh", ["v"],
+                       fo.conj(inc_guard, init) if not isinstance(
+                           inc_guard, fo.FalseF) else fo.FALSE)
+    for counter in (1, 2):
+        test_guard = _disj([at(s) for s in _test_states(machine, counter)])
+        builder.input_rule(
+            f"dec{counter}", ["y", "t"],
+            fo.conj(test_guard, init) if not isinstance(
+                test_guard, fo.FalseF) else fo.FALSE,
+        )
+
+    # ---- helper condition fragments -----------------------------------
+    some_fresh = fo.exists(["v"], fo.atom("fresh", v("v")))
+
+    def some_dec(counter: int) -> fo.Formula:
+        return fo.exists(
+            ["y", "t"], fo.atom(f"dec{counter}", v("y"), v("t"))
+        )
+
+    def fired(state: str) -> fo.Formula:
+        """The condition under which *state*'s instruction executes."""
+        instr = machine.program[state]
+        if isinstance(instr, Inc):
+            return fo.conj(at(state), tick, some_fresh)
+        zero = fo.atom(f"top{instr.counter}", BOTTOM)
+        return fo.conj(at(state), tick,
+                       fo.disj(zero, some_dec(instr.counter)))
+
+    # ---- control-state transitions -------------------------------------
+    # insert at(s): initialization plus every transition into s
+    at_insert: list[fo.Formula] = [
+        fo.conj(fo.eq(v("s"), _state_const(machine.initial)), not_init)
+    ]
+    at_delete: list[fo.Formula] = []
+    for state, instr in sorted(machine.program.items()):
+        if isinstance(instr, Inc):
+            at_insert.append(fo.conj(
+                fo.eq(v("s"), _state_const(instr.target)), fired(state)
+            ))
+        else:
+            zero = fo.atom(f"top{instr.counter}", BOTTOM)
+            at_insert.append(fo.conj(
+                fo.eq(v("s"), _state_const(instr.on_zero)),
+                at(state), tick, zero,
+            ))
+            at_insert.append(fo.conj(
+                fo.eq(v("s"), _state_const(instr.on_positive)),
+                at(state), tick, some_dec(instr.counter),
+            ))
+        at_delete.append(fo.conj(fo.eq(v("s"), _state_const(state)),
+                                 fired(state)))
+    builder.insert_rule("at", ["s"], _disj(at_insert))
+    builder.delete_rule("at", ["s"], _disj(at_delete))
+
+    # ---- initialization and halting -----------------------------------
+    builder.insert_rule("initialized", [], fo.TRUE)
+    builder.insert_rule("halted", [], at(HALT))
+
+    # ---- counter chains -------------------------------------------------
+    for counter in (1, 2):
+        top = f"top{counter}"
+        succ = f"succ{counter}"
+        incs = [s for s in _inc_states(machine)
+                if machine.program[s].counter == counter]
+        tests = _test_states(machine, counter)
+        inc_fires = _disj([fired(s) for s in incs])
+        dec_fires = _disj([
+            fo.conj(at(s), tick) for s in tests
+        ])
+
+        top_insert: list[fo.Formula] = [
+            fo.conj(fo.eq(v("x"), BOTTOM), not_init)
+        ]
+        top_delete: list[fo.Formula] = []
+        succ_insert: list[fo.Formula] = []
+        succ_delete: list[fo.Formula] = []
+        if incs:
+            # new top is the fresh value; chain edge old-top -> fresh
+            top_insert.append(fo.conj(fo.atom("fresh", v("x")), inc_fires))
+            top_delete.append(fo.conj(
+                fo.atom(top, v("x")), some_fresh, inc_fires,
+            ))
+            succ_insert.append(fo.conj(
+                fo.atom(top, v("x")), fo.atom("fresh", v("y")), inc_fires,
+            ))
+        if tests:
+            # decrement: the claimed predecessor becomes the top
+            top_insert.append(fo.conj(
+                fo.exists(["t"], fo.atom(f"dec{counter}", v("x"), v("t"))),
+                dec_fires,
+            ))
+            top_delete.append(fo.conj(
+                fo.exists(["y"], fo.atom(f"dec{counter}", v("y"), v("x"))),
+                dec_fires,
+            ))
+            succ_delete.append(fo.conj(
+                fo.atom(f"dec{counter}", v("x"), v("y")), dec_fires,
+            ))
+        builder.insert_rule(top, ["x"], _disj(top_insert))
+        if top_delete:
+            builder.delete_rule(top, ["x"], _disj(top_delete))
+        if succ_insert:
+            builder.insert_rule(succ, ["x", "y"], _disj(succ_insert))
+        if succ_delete:
+            builder.delete_rule(succ, ["x", "y"], _disj(succ_delete))
+
+    # ---- handshake ------------------------------------------------------
+    builder.send_rule("tock", [], fo.conj(tick, init))
+    return builder.build()
+
+
+def clock_peer() -> Peer:
+    """The pacing peer: sends a tick, waits for the tock, repeats."""
+    return (
+        PeerBuilder(CLOCK)
+        .state("started", 0)
+        .flat_in_queue("tock", 0)
+        .flat_out_queue("tick", 0)
+        .insert_rule("started", [], fo.TRUE)
+        .send_rule("tick", [], fo.disj(
+            fo.neg(fo.Atom("started", ())), fo.Atom("tock", ()),
+        ))
+        .build()
+    )
+
+
+def machine_composition(machine: CounterMachine) -> Composition:
+    """The two-peer composition simulating *machine*."""
+    return Composition([driver_peer(machine), clock_peer()])
+
+
+def machine_databases() -> dict[str, Instance]:
+    """The gadget uses no databases."""
+    return {}
+
+
+def _validation_body(machine: CounterMachine) -> LTLFormula:
+    """G of the closed FO validation conditions (faithful simulation)."""
+    v = fo.Var
+    at = lambda s: fo.atom("Driver.at", _state_const(s))  # noqa: E731
+
+    conditions: list[fo.Formula] = []
+
+    # V1: increment values are genuinely fresh -- not in any chain, not
+    # the bottom marker, and not a control-state constant (so the fresh
+    # values of the verification domain are exactly the chain capacity)
+    inc_guard = _disj([at(s) for s in _inc_states(machine)])
+    if not isinstance(inc_guard, fo.FalseF):
+        reserved = [fo.eq(v("fv"), BOTTOM)]
+        reserved += [
+            fo.eq(v("fv"), _state_const(s)) for s in machine.states()
+        ]
+        in_some_chain = fo.disj(
+            fo.atom("Driver.top1", v("fv")),
+            fo.atom("Driver.top2", v("fv")),
+            fo.exists(["w"], fo.conj(
+                fo.atom("Driver.fresh", v("fv")),  # re-guard for ib shape
+                fo.disj(
+                    fo.atom("Driver.succ1", v("w"), v("fv")),
+                    fo.atom("Driver.succ1", v("fv"), v("w")),
+                    fo.atom("Driver.succ2", v("w"), v("fv")),
+                    fo.atom("Driver.succ2", v("fv"), v("w")),
+                ),
+            )),
+            *reserved,
+        )
+        conditions.append(fo.forall(
+            ["fv"],
+            fo.implies(
+                fo.conj(fo.atom("Driver.fresh", v("fv")), inc_guard),
+                fo.neg(in_some_chain),
+            ),
+        ))
+
+    # V2: claimed decrement pairs are real chain tops
+    for counter in (1, 2):
+        tests = _test_states(machine, counter)
+        if not tests:
+            continue
+        guard = _disj([at(s) for s in tests])
+        conditions.append(fo.forall(
+            ["dy", "dt"],
+            fo.implies(
+                fo.conj(
+                    fo.atom(f"Driver.dec{counter}", v("dy"), v("dt")),
+                    guard,
+                ),
+                fo.conj(
+                    fo.atom(f"Driver.succ{counter}", v("dy"), v("dt")),
+                    fo.atom(f"Driver.top{counter}", v("dt")),
+                ),
+            ),
+        ))
+
+    return lglobally(lift_fo(fo.conj(*conditions)))
+
+
+def halting_search_property(machine: CounterMachine) -> LTLFOSentence:
+    """The property whose violations are faithful halting computations.
+
+    ``phi = ~(validation & F halted)``; the verifier's counterexample
+    search for ``phi`` looks for runs satisfying
+    ``validation & F halted``.
+    """
+    halted = lift_fo(fo.Atom("Driver.halted", ()))
+    negated = land(_validation_body(machine), lfinally(halted))
+    return LTLFOSentence((), lnot(negated))

@@ -1,0 +1,17 @@
+"""Operational semantics: snapshots, transitions, runs, environments."""
+
+from .state import (
+    GlobalState, Message, QueueContents, empty_queues, first_message,
+    freeze_queues, last_message, snapshot_view,
+)
+from .step import initial_states, input_choices, peer_successors, successors
+from .environment import environment_successors
+from .run import Lasso, iterate_snapshot_views, reachable_states, simulate
+
+__all__ = [
+    "GlobalState", "Lasso", "Message", "QueueContents", "empty_queues",
+    "environment_successors", "first_message", "freeze_queues",
+    "initial_states", "input_choices", "iterate_snapshot_views",
+    "last_message", "peer_successors", "reachable_states", "simulate",
+    "snapshot_view", "successors",
+]

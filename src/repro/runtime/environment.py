@@ -1,0 +1,167 @@
+"""Environment transitions for open compositions (Section 5).
+
+The environment owns the dangling endpoints of an open composition's
+channels.  One environment transition nondeterministically
+
+* removes the first message from any subset of the queues it consumes
+  (``E.Qin`` -- the composition's out-queues towards the environment), and
+* enqueues new messages into any subset of the queues it feeds
+  (``E.Qout`` -- the composition's in-queues from the environment), with
+  tuple values drawn from the finite verification domain (the paper's
+  finite-domain assumption on environment transitions).
+
+Nested environment messages are bounded by ``max_nested_rows`` rows to
+keep the branch set finite and small; Theorem 5.4 restricts environment
+specifications to *flat* environment channels anyway.
+
+``one_action_per_move=True`` restricts each environment transition to a
+single dequeue or a single send (or a no-op).  Every multi-action behaviour
+is reproduced by a sequence of single-action moves, so this is a useful
+state-space reduction when properties do not depend on simultaneity.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..fo.schema import ENVIRONMENT_NAME
+from ..spec.channels import ChannelSemantics
+from ..spec.composition import Composition
+from .state import GlobalState, freeze_queues
+from .step import Domain, _row_key
+
+
+def _flat_message_options(arity: int, domain: Domain) -> list[frozenset]:
+    return [
+        frozenset({combo})
+        for combo in sorted(itertools.product(domain, repeat=arity),
+                            key=_row_key)
+    ]
+
+
+def _nested_message_options(arity: int, domain: Domain,
+                            max_rows: int) -> list[frozenset]:
+    rows = sorted(itertools.product(domain, repeat=arity), key=_row_key)
+    options: list[frozenset] = [frozenset()]
+    for size in range(1, max_rows + 1):
+        options.extend(
+            frozenset(combo) for combo in itertools.combinations(rows, size)
+        )
+    return options
+
+
+def environment_successors(composition: Composition, state: GlobalState,
+                           domain: Domain, semantics: ChannelSemantics,
+                           max_nested_rows: int = 1,
+                           one_action_per_move: bool = False,
+                           value_domain: Domain | None = None,
+                           ) -> list[GlobalState]:
+    """All successors of *state* under one environment transition.
+
+    ``value_domain`` restricts the values environment messages may carry
+    (the paper only assumes "some finite domain"); it defaults to the full
+    verification domain.  Smaller value domains shrink the branch factor
+    dramatically; by genericity, one fresh value not occurring elsewhere
+    stands in for "any unexpected value".
+    """
+    if composition.is_closed:
+        return []
+    if value_domain is None:
+        value_domain = domain
+
+    def finish(queues: dict, enqueued: frozenset, sent: frozenset
+               ) -> GlobalState:
+        return GlobalState(
+            data=state.data,
+            queues=freeze_queues(queues),
+            mover=ENVIRONMENT_NAME,
+            enqueued=enqueued,
+            sent=sent,
+        )
+
+    base = state.queue_map()
+    in_channels = composition.env_in_channels()    # env consumes
+    out_channels = composition.env_out_channels()  # env sends
+
+    if one_action_per_move:
+        out: list[GlobalState] = [finish(dict(base), frozenset(),
+                                         frozenset())]
+        for channel in in_channels:
+            contents = base[channel.name]
+            if contents:
+                queues = dict(base)
+                queues[channel.name] = contents[1:]
+                out.append(finish(queues, frozenset(), frozenset()))
+        for channel in out_channels:
+            contents = base[channel.name]
+            if (semantics.queue_bound is not None
+                    and len(contents) >= semantics.queue_bound):
+                # a send into a full queue would be dropped; the same run
+                # set is produced by the environment simply not sending
+                continue
+            options = (
+                _nested_message_options(channel.arity, value_domain,
+                                        max_nested_rows)
+                if channel.nested
+                else _flat_message_options(channel.arity, value_domain)
+            )
+            for message in options:
+                queues = dict(base)
+                queues[channel.name] = contents + (message,)
+                out.append(finish(queues, frozenset({channel.name}),
+                                  frozenset({channel.name})))
+        return out
+
+    # full product: any subset of dequeues x any choice of sends
+    dequeue_choices: list[list[tuple[str, bool]]] = []
+    for channel in in_channels:
+        if base[channel.name]:
+            dequeue_choices.append([(channel.name, False),
+                                    (channel.name, True)])
+    send_choices: list[list[tuple[str, frozenset | None]]] = []
+    for channel in out_channels:
+        options: list[frozenset | None] = [None]
+        contents = base[channel.name]
+        room = (semantics.queue_bound is None
+                or len(contents) < semantics.queue_bound)
+        if room:
+            # sends into full queues would be dropped; omitting them
+            # produces the same run set (environment chooses not to send)
+            options.extend(
+                _nested_message_options(channel.arity, value_domain,
+                                        max_nested_rows)
+                if channel.nested
+                else _flat_message_options(channel.arity, value_domain)
+            )
+        send_choices.append([(channel.name, opt) for opt in options])
+
+    out = []
+    dequeue_product = (
+        [list(c) for c in itertools.product(*dequeue_choices)]
+        if dequeue_choices else [[]]
+    )
+    send_product = (
+        [list(c) for c in itertools.product(*send_choices)]
+        if send_choices else [[]]
+    )
+    for dequeues in dequeue_product:
+        for sends in send_product:
+            queues = dict(base)
+            for name, do_dequeue in dequeues:
+                if do_dequeue and queues[name]:
+                    queues[name] = queues[name][1:]
+            enqueued_set: set[str] = set()
+            sent_set: set[str] = set()
+            for name, message in sends:
+                if message is None:
+                    continue
+                contents = queues[name]
+                if (semantics.queue_bound is not None
+                        and len(contents) >= semantics.queue_bound):
+                    continue  # full after a concurrent dequeue race: skip
+                sent_set.add(name)
+                queues[name] = contents + (message,)
+                enqueued_set.add(name)
+            out.append(finish(queues, frozenset(enqueued_set),
+                              frozenset(sent_set)))
+    return out

@@ -1,0 +1,359 @@
+"""The legal-successor relation (Definitions 2.3, 2.4 and 2.6).
+
+One peer moves per step (serialized runs).  A move of peer ``W``:
+
+1. evaluates all of ``W``'s rules on the current snapshot (database, state,
+   current input, previous input, first messages of in-queues);
+2. computes the new state (insert/delete semantics with no-op conflict
+   resolution), actions, and previous inputs;
+3. fires the send rules: nested sends collect all answers into one
+   message; flat sends with several candidates either pick one
+   nondeterministically or raise the ``error_Q`` flag (Theorem 3.8),
+   depending on the :class:`~repro.spec.channels.ChannelSemantics`;
+4. dequeues the first message of every in-queue *mentioned* in ``W``'s
+   rules, then delivers sent messages: lossy channels may drop any sent
+   message nondeterministically, and messages arriving at a full
+   (k-bounded) queue are dropped;
+5. finally, ``W``'s next user input is chosen nondeterministically among
+   the options its input rules generate *in the successor configuration*
+   (Definition 2.3 constrains the input of every configuration).
+
+All nondeterminism (flat-send picks, losses, input choices) is enumerated,
+so :func:`successors` returns every legal successor snapshot.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import SpecificationError
+from ..fo.evaluator import answers
+from ..fo.instance import Instance, Rows
+from ..fo.schema import error_name, prev_name
+from ..fo.terms import Value, value_sort_key
+from ..spec.channels import (
+    ChannelSemantics, FlatSendDiscipline, NestedEmptySend,
+)
+from ..spec.composition import Channel, Composition
+from ..spec.peer import Peer
+from ..spec.rules import Rule, RuleKind
+from .state import GlobalState, empty_queues, freeze_queues, snapshot_view
+
+Domain = Sequence[Value]
+
+
+def _row_key(row: tuple) -> tuple:
+    """Deterministic sort key for rows with mixed str/int values."""
+    return tuple(value_sort_key(v) for v in row)
+
+
+#: Rule-firing cache: a rule body's answers depend only on the extensions
+#: of the relations it mentions and the quantification domain, both of
+#: which repeat heavily across snapshots during model checking.
+_ANSWER_CACHE: dict = {}
+_RELEVANT_CACHE: dict = {}
+
+
+def clear_rule_cache() -> None:
+    """Drop the global rule-firing memo (tests / long-running processes)."""
+    _ANSWER_CACHE.clear()
+    _RELEVANT_CACHE.clear()
+
+
+def _rule_answers(rule: Rule | None, view: Instance, domain: Domain
+                  ) -> Rows:
+    if rule is None:
+        return frozenset()
+    relevant = _RELEVANT_CACHE.get(rule)
+    if relevant is None:
+        from ..fo.formulas import relations
+        relevant = tuple(sorted(relations(rule.body)))
+        _RELEVANT_CACHE[rule] = relevant
+    key = (rule, tuple(view[rel] for rel in relevant), tuple(domain))
+    cached = _ANSWER_CACHE.get(key)
+    if cached is None:
+        cached = answers(rule.body, rule.head, view, domain)
+        _ANSWER_CACHE[key] = cached
+    return cached
+
+
+def _find_rule(rules: Iterable[Rule], kind: RuleKind, target: str
+               ) -> Rule | None:
+    for rule in rules:
+        if rule.kind == kind and rule.target == target:
+            return rule
+    return None
+
+
+def input_choices(composition: Composition, state: GlobalState,
+                  peer: Peer, domain: Domain
+                  ) -> list[dict[str, Rows]]:
+    """All legal input assignments for *peer* in snapshot *state*.
+
+    Each assignment maps the peer's qualified input-relation names to at
+    most one tuple (Definition 2.3: the user picks at most one option;
+    propositional inputs may be set only when their option rule holds).
+    """
+    view = snapshot_view(state, composition)
+    rules = composition.qualified_rules(peer.name)
+    per_input: list[list[tuple[str, Rows]]] = []
+    for inp in peer.inputs:
+        qname = f"{peer.name}.{inp.name}"
+        rule = _find_rule(rules, RuleKind.INPUT, qname)
+        options = _rule_answers(rule, view, domain)
+        if inp.arity == 0:
+            # propositional: may be True only if the option rule holds
+            # (an omitted rule means the option is never available)
+            choices: list[tuple[str, Rows]] = [(qname, frozenset())]
+            if options:
+                choices.append((qname, frozenset({()})))
+        else:
+            choices = [(qname, frozenset())]
+            choices.extend(
+                (qname, frozenset({row}))
+                for row in sorted(options, key=_row_key)
+            )
+        per_input.append(choices)
+    if not per_input:
+        return [{}]
+    return [dict(combo) for combo in itertools.product(*per_input)]
+
+
+def initial_states(composition: Composition,
+                   databases: Mapping[str, Instance],
+                   domain: Domain) -> list[GlobalState]:
+    """All legal initial snapshots over the given per-peer databases.
+
+    State, action, previous-input relations and queues start empty
+    (Definition 2.6); each peer's initial input is any legal choice
+    against its options in the initial configuration.
+    """
+    data_parts: dict[str, Rows] = {}
+    for peer in composition.peers:
+        db = databases.get(peer.name, Instance())
+        declared = {s.name for s in peer.database}
+        unknown = set(db.relations()) - declared
+        if unknown:
+            raise SpecificationError(
+                f"database for peer {peer.name!r} mentions undeclared "
+                f"relations {sorted(unknown)}"
+            )
+        for sym in peer.database:
+            data_parts[f"{peer.name}.{sym.name}"] = db[sym.name]
+    core = GlobalState(
+        data=Instance(data_parts),
+        queues=empty_queues(composition),
+        mover=None,
+    )
+    # choose initial inputs peer by peer (options depend only on the
+    # database in the empty initial configuration, so order is irrelevant)
+    states = [core]
+    for peer in composition.peers:
+        expanded: list[GlobalState] = []
+        for st in states:
+            for choice in input_choices(composition, st, peer, domain):
+                expanded.append(
+                    GlobalState(
+                        data=st.data.merged(Instance(choice)),
+                        queues=st.queues,
+                        mover=None,
+                    )
+                )
+        states = expanded
+    return states
+
+
+def _resolve_flat_sends(
+    candidates: Rows, semantics: ChannelSemantics
+) -> list[tuple[frozenset | None, bool]]:
+    """Outcomes of a flat send: (message rows or None, error-flag)."""
+    if not candidates:
+        return [(None, False)]
+    if len(candidates) == 1:
+        (row,) = candidates
+        return [(frozenset({row}), False)]
+    if semantics.flat_send is FlatSendDiscipline.DETERMINISTIC_ERROR:
+        return [(None, True)]
+    return [
+        (frozenset({row}), False)
+        for row in sorted(candidates, key=_row_key)
+    ]
+
+
+def _delivery_branches(
+    messages: list[tuple[Channel, frozenset]],
+    semantics: ChannelSemantics,
+) -> list[list[tuple[Channel, frozenset, bool]]]:
+    """All loss/delivery combinations for the messages sent this step.
+
+    Each branch lists ``(channel, message, delivered)``; lossy channels may
+    drop, perfect channels always deliver.
+    """
+    per_message: list[list[tuple[Channel, frozenset, bool]]] = []
+    for channel, message in messages:
+        lossy = (
+            semantics.nested_is_lossy() if channel.nested
+            else semantics.flat_is_lossy()
+        )
+        outcomes = [(channel, message, True)]
+        if lossy:
+            outcomes.append((channel, message, False))
+        per_message.append(outcomes)
+    if not per_message:
+        return [[]]
+    return [list(combo) for combo in itertools.product(*per_message)]
+
+
+def peer_successors(composition: Composition, state: GlobalState,
+                    mover: str, domain: Domain,
+                    semantics: ChannelSemantics) -> list[GlobalState]:
+    """All legal successors of *state* when peer *mover* moves."""
+    peer = composition.peer(mover)
+    rules = composition.qualified_rules(mover)
+    view = snapshot_view(state, composition)
+
+    def q(name: str) -> str:
+        return f"{mover}.{name}"
+
+    updates: dict[str, Rows] = {}
+
+    # state relations: insert/delete with no-op conflict semantics
+    for sym in peer.states:
+        insert = _find_rule(rules, RuleKind.INSERT, q(sym.name))
+        delete = _find_rule(rules, RuleKind.DELETE, q(sym.name))
+        if insert is None and delete is None:
+            continue
+        ins = _rule_answers(insert, view, domain)
+        dele = _rule_answers(delete, view, domain)
+        old = state.data[q(sym.name)]
+        updates[q(sym.name)] = frozenset(
+            (ins - dele) | (old & ins & dele) | (old - ins - dele)
+        )
+
+    # actions are recomputed on every move
+    for sym in peer.actions:
+        rule = _find_rule(rules, RuleKind.ACTION, q(sym.name))
+        updates[q(sym.name)] = _rule_answers(rule, view, domain)
+
+    # previous inputs: replaced by the current input when non-empty
+    for sym in peer.inputs:
+        current = state.data[q(sym.name)]
+        if current:
+            updates[q(prev_name(sym.name))] = current
+
+    # send rules
+    flat_outcomes: list[list[tuple[Channel, frozenset | None, bool]]] = []
+    nested_messages: list[tuple[Channel, frozenset]] = []
+    for sym in peer.out_queues:
+        channel = composition.channel(sym.name)
+        rule = _find_rule(rules, RuleKind.SEND, q(sym.name))
+        produced = _rule_answers(rule, view, domain)
+        if sym.nested:
+            if produced or (
+                rule is not None
+                and semantics.nested_empty_send is NestedEmptySend.ENQUEUE
+            ):
+                nested_messages.append((channel, frozenset(produced)))
+        else:
+            outcomes = _resolve_flat_sends(produced, semantics)
+            flat_outcomes.append([
+                (channel, message, error) for message, error in outcomes
+            ])
+
+    # queue mechanics: dequeue consumed in-queues first
+    base_queues = state.queue_map()
+    consumed = peer.consumed_in_queues()
+    for channel in composition.channels:
+        if channel.receiver == mover and channel.name in consumed:
+            contents = base_queues[channel.name]
+            if contents:
+                base_queues[channel.name] = contents[1:]
+
+    successors: list[GlobalState] = []
+    flat_combos = (
+        [list(combo) for combo in itertools.product(*flat_outcomes)]
+        if flat_outcomes else [[]]
+    )
+    for flat_combo in flat_combos:
+        error_updates: dict[str, Rows] = {}
+        messages: list[tuple[Channel, frozenset]] = []
+        for channel, message, error in flat_combo:
+            error_updates[q(error_name(channel.name))] = (
+                frozenset({()}) if error else frozenset()
+            )
+            if message is not None:
+                messages.append((channel, message))
+        messages.extend(nested_messages)
+        messages.sort(key=lambda cm: cm[0].name)
+        sent = frozenset(channel.name for channel, _m in messages)
+
+        for branch in _delivery_branches(messages, semantics):
+            queues = dict(base_queues)
+            enqueued: set[str] = set()
+            for channel, message, delivered in branch:
+                if not delivered:
+                    continue
+                contents = queues[channel.name]
+                if (semantics.queue_bound is not None
+                        and len(contents) >= semantics.queue_bound):
+                    continue  # full queue: message dropped
+                queues[channel.name] = contents + (message,)
+                enqueued.add(channel.name)
+
+            data0 = state.data.merged(
+                Instance({**updates, **error_updates})
+            )
+            candidate = GlobalState(
+                data=data0,
+                queues=freeze_queues(queues),
+                mover=mover,
+                enqueued=frozenset(enqueued),
+                sent=sent,
+            )
+            # the successor's input is chosen against the successor's
+            # own options (Definition 2.3)
+            for choice in input_choices(composition, candidate, peer,
+                                        domain):
+                successors.append(
+                    GlobalState(
+                        data=data0.merged(Instance(choice)),
+                        queues=candidate.queues,
+                        mover=mover,
+                        enqueued=candidate.enqueued,
+                        sent=sent,
+                    )
+                )
+    return successors
+
+
+def successors(composition: Composition, state: GlobalState,
+               domain: Domain, semantics: ChannelSemantics,
+               include_environment: bool = True,
+               env_max_nested_rows: int = 1,
+               env_one_action_per_move: bool = False,
+               env_value_domain: Domain | None = None) -> list[GlobalState]:
+    """All legal successors of *state* (any peer may move).
+
+    For open compositions, environment moves are included unless
+    *include_environment* is False; the ``env_*`` knobs bound the
+    environment's nondeterminism (see
+    :func:`~repro.runtime.environment.environment_successors`).
+    """
+    out: list[GlobalState] = []
+    for peer in composition.peers:
+        out.extend(
+            peer_successors(composition, state, peer.name, domain,
+                            semantics)
+        )
+    if include_environment and not composition.is_closed:
+        from .environment import environment_successors
+        out.extend(
+            environment_successors(
+                composition, state, domain, semantics,
+                max_nested_rows=env_max_nested_rows,
+                one_action_per_move=env_one_action_per_move,
+                value_domain=env_value_domain,
+            )
+        )
+    return out

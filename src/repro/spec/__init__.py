@@ -1,0 +1,23 @@
+"""Peer and composition specifications (Section 2)."""
+
+from .channels import (
+    ChannelSemantics, DECIDABLE_DEFAULT, DECIDABLE_FAITHFUL,
+    DETERMINISTIC_LOSSY, FlatSendDiscipline, NestedEmptySend, PERFECT_BOUNDED,
+)
+from .rules import Rule, RuleKind, rename_formula_relations
+from .peer import Peer, PeerBuilder
+from .composition import Channel, Composition
+from .validate import validate_rule_vocabulary
+from .dsl import (
+    load, load_composition, load_databases, load_document,
+    load_properties,
+)
+
+__all__ = [
+    "Channel", "ChannelSemantics", "Composition", "DECIDABLE_DEFAULT",
+    "DECIDABLE_FAITHFUL", "DETERMINISTIC_LOSSY", "FlatSendDiscipline",
+    "NestedEmptySend", "PERFECT_BOUNDED", "Peer", "PeerBuilder", "Rule",
+    "RuleKind", "load", "load_composition", "load_databases",
+    "load_document", "load_properties",
+    "rename_formula_relations", "validate_rule_vocabulary",
+]

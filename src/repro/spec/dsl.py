@@ -1,0 +1,296 @@
+"""A textual specification language for peers and compositions.
+
+The paper's Introduction motivates verification by high-level web-service
+specification tools (WebML and relatives): the specification *is* the
+artifact to verify.  This module provides that surface: a small
+declarative language from which :class:`~repro.spec.Composition` values
+are loaded, so specifications can live in version-controlled ``.dws``
+files next to the properties that govern them.
+
+Syntax (line-oriented; ``#`` starts a comment)::
+
+    peer O {
+        database customer/3
+        state    application/2
+        state    applied/0
+        input    reccom/2
+        action   letter/4
+        in  flat   apply/2
+        in  nested history/3
+        out flat   getRating/1
+        out nested recommend/8
+
+        input  reccom(id, rec) <- exists ssn, name:
+                                  customer(id, ssn, name)
+                                  & (rec = "approve" | rec = "deny")
+        insert application(id, loan) <- ?apply(id, loan)
+        delete application(id, loan) <- false
+        action letter(id, n, l, d)   <- ...
+        send   getRating(ssn)        <- ...
+    }
+
+    database O {
+        customer: ("c1", "s1", "ann"), ("c2", "s2", "bob")
+    }
+
+Rule bodies may continue onto following lines: a rule extends until the
+next statement keyword or closing brace.  :func:`load_composition` parses
+a whole document; :func:`load_databases` extracts the ``database`` blocks.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError, SpecificationError
+from ..fo.instance import Instance
+from ..fo.terms import Value
+from .composition import Composition
+from .peer import Peer, PeerBuilder
+
+_DECL_RE = re.compile(
+    r"^(database|state|input|action)\s+([A-Za-z_]\w*)\s*/\s*(\d+)$"
+)
+_QUEUE_RE = re.compile(
+    r"^(in|out)\s+(flat|nested)\s+([A-Za-z_]\w*)\s*/\s*(\d+)$"
+)
+_RULE_RE = re.compile(
+    r"^(input|insert|delete|action|send)\s+([A-Za-z_]\w*)\s*"
+    r"\(([^)]*)\)\s*<-\s*(.*)$", re.DOTALL,
+)
+_RULE_NOARGS_RE = re.compile(
+    r"^(input|insert|delete|action|send)\s+([A-Za-z_]\w*)\s*"
+    r"<-\s*(.*)$", re.DOTALL,
+)
+_PEER_RE = re.compile(r"^peer\s+([A-Za-z_]\w*)\s*\{$")
+_DB_RE = re.compile(r"^database\s+([A-Za-z_]\w*)\s*\{$")
+_ROWS_RE = re.compile(r"^([A-Za-z_]\w*)\s*:\s*(.*)$", re.DOTALL)
+
+_STATEMENT_START = re.compile(
+    r"^(database|state|input|action|insert|delete|send|property\s"
+    r"|in\s|out\s|\})"
+)
+
+
+def _strip_comments(text: str) -> list[str]:
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        lines.append(line)
+    return lines
+
+
+def _join_continuations(lines: list[str]) -> list[str]:
+    """Merge rule bodies that continue over several lines.
+
+    A line belongs to the previous statement when it is indented content
+    that does not itself start a new statement.
+    """
+    merged: list[str] = []
+    for line in lines:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if (merged
+                and not _STATEMENT_START.match(stripped)
+                and not _PEER_RE.match(stripped)
+                and not _DB_RE.match(stripped)
+                and "<-" not in stripped
+                and not _ROWS_RE.match(stripped)
+                and merged[-1] not in ("}",)):
+            merged[-1] = merged[-1] + " " + stripped
+        else:
+            merged.append(stripped)
+    return merged
+
+
+def _parse_row_list(text: str, where: str) -> list[tuple[Value, ...]]:
+    """Parse ``("a", 1), ("b", 2)`` into rows of values."""
+    rows: list[tuple[Value, ...]] = []
+    rest = text.strip()
+    while rest:
+        if not rest.startswith("("):
+            raise ParseError(f"{where}: expected '(' in row list: {rest!r}")
+        end = rest.index(")")
+        inner = rest[1:end]
+        row: list[Value] = []
+        for piece in filter(None, (p.strip() for p in inner.split(","))):
+            if piece.startswith('"') and piece.endswith('"'):
+                row.append(piece[1:-1])
+            elif re.fullmatch(r"-?\d+", piece):
+                row.append(int(piece))
+            else:
+                raise ParseError(
+                    f"{where}: row values must be quoted strings or "
+                    f"integers, got {piece!r}"
+                )
+        rows.append(tuple(row))
+        rest = rest[end + 1:].lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+        elif rest:
+            raise ParseError(f"{where}: expected ',' between rows: {rest!r}")
+    return rows
+
+
+def _apply_declaration(builder: PeerBuilder, line: str, where: str) -> bool:
+    match = _DECL_RE.match(line)
+    if match:
+        kind, name, arity = match.groups()
+        getattr(builder, kind)(name, int(arity))
+        return True
+    match = _QUEUE_RE.match(line)
+    if match:
+        direction, shape, name, arity = match.groups()
+        method = f"{shape}_{'in' if direction == 'in' else 'out'}_queue"
+        getattr(builder, method)(name, int(arity))
+        return True
+    return False
+
+
+def _apply_rule(builder: PeerBuilder, line: str, where: str) -> bool:
+    match = _RULE_RE.match(line)
+    if match:
+        kind, target, head_text, body = match.groups()
+        head = [h.strip() for h in head_text.split(",") if h.strip()]
+    else:
+        match = _RULE_NOARGS_RE.match(line)
+        if not match:
+            return False
+        kind, target, body = match.groups()
+        head = []
+    method = {
+        "input": builder.input_rule,
+        "insert": builder.insert_rule,
+        "delete": builder.delete_rule,
+        "action": builder.action_rule,
+        "send": builder.send_rule,
+    }[kind]
+    method(target, head, body.strip())
+    return True
+
+
+def parse_peer_block(name: str, lines: list[str]) -> Peer:
+    """Parse the statements of one ``peer`` block."""
+    builder = PeerBuilder(name)
+    where = f"peer {name}"
+    for line in lines:
+        if _apply_declaration(builder, line, where):
+            continue
+        if _apply_rule(builder, line, where):
+            continue
+        raise ParseError(f"{where}: cannot parse statement {line!r}")
+    return builder.build()
+
+
+def load_composition(text: str) -> Composition:
+    """Parse every ``peer`` block of *text* into a composition."""
+    peers: list[Peer] = []
+    lines = _join_continuations(_strip_comments(text))
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        peer_match = _PEER_RE.match(line)
+        db_match = _DB_RE.match(line)
+        if peer_match:
+            block: list[str] = []
+            i += 1
+            while i < len(lines) and lines[i] != "}":
+                block.append(lines[i])
+                i += 1
+            if i == len(lines):
+                raise ParseError(
+                    f"peer {peer_match.group(1)}: missing closing brace"
+                )
+            peers.append(parse_peer_block(peer_match.group(1), block))
+        elif db_match:
+            while i < len(lines) and lines[i] != "}":
+                i += 1
+        elif _PROPERTY_RE.match(line):
+            pass  # properties are collected by load_properties()
+        elif line:
+            raise ParseError(f"cannot parse top-level statement {line!r}")
+        i += 1
+    if not peers:
+        raise SpecificationError("no peer blocks found")
+    return Composition(peers)
+
+
+def load_databases(text: str) -> dict[str, Instance]:
+    """Parse every ``database <peer>`` block of *text*."""
+    out: dict[str, Instance] = {}
+    lines = _join_continuations(_strip_comments(text))
+    i = 0
+    while i < len(lines):
+        db_match = _DB_RE.match(lines[i])
+        if not db_match:
+            # skip over peer blocks and stray lines
+            if _PEER_RE.match(lines[i]):
+                while i < len(lines) and lines[i] != "}":
+                    i += 1
+            i += 1
+            continue
+        peer_name = db_match.group(1)
+        relations: dict[str, list[tuple[Value, ...]]] = {}
+        i += 1
+        while i < len(lines) and lines[i] != "}":
+            rows_match = _ROWS_RE.match(lines[i])
+            if not rows_match:
+                raise ParseError(
+                    f"database {peer_name}: cannot parse {lines[i]!r}"
+                )
+            rel, row_text = rows_match.groups()
+            relations[rel] = _parse_row_list(
+                row_text, f"database {peer_name}.{rel}"
+            )
+            i += 1
+        if i == len(lines):
+            raise ParseError(
+                f"database {peer_name}: missing closing brace"
+            )
+        out[peer_name] = Instance(relations)
+        i += 1
+    return out
+
+
+_PROPERTY_RE = re.compile(r"^property\s+([A-Za-z_]\w*)\s*:\s*(.*)$",
+                          re.DOTALL)
+
+
+def load_properties(text: str) -> dict[str, str]:
+    """Parse every ``property <name>: <ltlfo>`` statement of *text*.
+
+    Properties are returned as raw LTL-FO text; callers parse them
+    against the loaded composition's schema (``verify`` does this
+    automatically).  A property extends until the next top-level
+    statement, like rule bodies.
+    """
+    out: dict[str, str] = {}
+    lines = _join_continuations(_strip_comments(text))
+    i = 0
+    while i < len(lines):
+        if _PEER_RE.match(lines[i]) or _DB_RE.match(lines[i]):
+            while i < len(lines) and lines[i] != "}":
+                i += 1
+            i += 1
+            continue
+        match = _PROPERTY_RE.match(lines[i])
+        if match:
+            name, body = match.groups()
+            if name in out:
+                raise ParseError(f"duplicate property name {name!r}")
+            out[name] = body.strip()
+        i += 1
+    return out
+
+
+def load(text: str) -> tuple[Composition, dict[str, Instance]]:
+    """Parse a full document: the composition and its databases."""
+    return load_composition(text), load_databases(text)
+
+
+def load_document(text: str) -> tuple[
+        Composition, dict[str, Instance], dict[str, str]]:
+    """Parse a full document including its ``property`` statements."""
+    return (load_composition(text), load_databases(text),
+            load_properties(text))

@@ -1,0 +1,57 @@
+"""Vocabulary validation for peer rules (Definition 2.1).
+
+Each rule family may mention a specific part of the peer's schema:
+
+* input rules:  D, S, PrevI, Qin  (no current inputs, no actions)
+* state rules:  D, S, I, PrevI, Qin
+* action rules: D, S, I, PrevI, Qin
+* send rules:   D, S, I, PrevI, Qin
+
+No rule body may mention action relations or out-queue relations.  Queue
+states ``empty_Q`` count as state (the paper puts them in S); the
+``error_Q`` flags of Theorem 3.8 are likewise state-like and "can be
+consulted by the peer rules".
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecificationError
+from ..fo.formulas import relations as formula_relations
+from ..fo.schema import RelationKind, Schema
+from .rules import Rule, RuleKind
+
+_COMMON_KINDS = frozenset({
+    RelationKind.DATABASE,
+    RelationKind.STATE,
+    RelationKind.PREV_INPUT,
+    RelationKind.IN_QUEUE,
+    RelationKind.QUEUE_STATE,
+    RelationKind.ERROR_FLAG,
+})
+
+_ALLOWED_KINDS: dict[RuleKind, frozenset[RelationKind]] = {
+    RuleKind.INPUT: _COMMON_KINDS,
+    RuleKind.INSERT: _COMMON_KINDS | {RelationKind.INPUT},
+    RuleKind.DELETE: _COMMON_KINDS | {RelationKind.INPUT},
+    RuleKind.ACTION: _COMMON_KINDS | {RelationKind.INPUT},
+    RuleKind.SEND: _COMMON_KINDS | {RelationKind.INPUT},
+}
+
+
+def validate_rule_vocabulary(peer_name: str, rule: Rule,
+                             schema: Schema) -> None:
+    """Raise :class:`SpecificationError` if *rule* uses forbidden symbols."""
+    allowed = _ALLOWED_KINDS[rule.kind]
+    for rel in sorted(formula_relations(rule.body)):
+        sym = schema.get(rel)
+        if sym is None:
+            raise SpecificationError(
+                f"peer {peer_name}: rule for {rule.target!r} mentions "
+                f"unknown relation {rel!r}"
+            )
+        if sym.kind not in allowed:
+            raise SpecificationError(
+                f"peer {peer_name}: {rule.kind.value} rule for "
+                f"{rule.target!r} may not mention {rel!r} "
+                f"(kind {sym.kind.value})"
+            )

@@ -1,0 +1,26 @@
+"""Decision procedures: LTL-FO verification, protocol compliance,
+modular (assume-guarantee) verification."""
+
+from .atoms import OccursAtom, SnapshotEvaluator
+from .domain import (
+    VerificationDomain, canonical_valuations, enumerate_databases,
+    fresh_values, verification_domain,
+)
+from .product import ProductSystem, SearchBudget, TransitionCache
+from .result import Counterexample, VerificationResult, VerifierStats
+from .search import LassoNodes, SearchStats, find_accepting_lasso
+from .ltlfo_verifier import verify, verify_all, verify_over_databases
+from .modular import (
+    environment_schema, observer_translate, parse_env_spec,
+    translate_env_spec, verify_modular,
+)
+
+__all__ = [
+    "Counterexample", "LassoNodes", "OccursAtom", "ProductSystem",
+    "SearchBudget", "SearchStats", "SnapshotEvaluator", "TransitionCache",
+    "VerificationDomain", "VerificationResult", "VerifierStats",
+    "canonical_valuations", "enumerate_databases", "environment_schema",
+    "find_accepting_lasso", "fresh_values", "observer_translate",
+    "parse_env_spec", "translate_env_spec", "verification_domain",
+    "verify", "verify_all", "verify_modular", "verify_over_databases",
+]

@@ -1,0 +1,271 @@
+"""The LTL-FO verifier (the decision procedure behind Theorem 3.4).
+
+``verify(composition, property, databases, ...)`` decides whether every
+run of the composition over the given databases satisfies the LTL-FO
+sentence, by exhaustive search over the bounded verification domain:
+
+1. The property's universal closure is expanded into finitely many
+   valuations over the verification domain (canonicalized up to
+   fresh-value symmetry).
+2. For each valuation, the negated instantiated body -- conjoined with
+   ``F occurs(v)`` for each fresh value used, implementing the ``Dom(rho)``
+   restriction of the closure semantics -- is translated to a Büchi
+   automaton (GPVW).
+3. The on-the-fly product with the composition's snapshot graph is
+   searched for an accepting lasso (nested DFS).  A lasso is a genuine
+   infinite counterexample run; none anywhere means the property holds
+   over the explored domain.
+
+Completeness beyond the fixed databases follows the bounded-domain
+principle: callers either supply the databases of interest or enumerate
+small databases via :func:`repro.verifier.domain.enumerate_databases`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..fo.instance import Instance
+from ..fo.terms import Value
+from ..ib.checker import check_composition, check_sentence
+from ..errors import InputBoundednessError
+from ..ltl.formulas import land, latom, lfinally, lnot
+from ..ltl.translate import ltl_to_buchi
+from ..ltlfo.formulas import LTLFOSentence
+from ..ltlfo.parser import parse_ltlfo
+from ..runtime.run import Lasso
+from ..spec.channels import ChannelSemantics, DECIDABLE_DEFAULT
+from ..spec.composition import Composition
+from .atoms import OccursAtom, SnapshotEvaluator
+from .domain import (
+    VerificationDomain, canonical_valuations, verification_domain,
+)
+from .product import ProductSystem, SearchBudget, TransitionCache
+from .result import (
+    Counterexample, Stopwatch, VerificationResult, VerifierStats,
+)
+from .search import find_accepting_lasso
+
+
+def _as_sentence(prop: LTLFOSentence | str,
+                 composition: Composition) -> LTLFOSentence:
+    if isinstance(prop, str):
+        return parse_ltlfo(prop, composition.schema)
+    return prop
+
+
+def _check_restrictions(composition: Composition,
+                        sentence: LTLFOSentence,
+                        enforce: bool) -> None:
+    if not enforce:
+        return
+    violations = check_composition(composition)
+    violations += check_sentence(sentence, composition.schema)
+    if violations:
+        lines = "\n".join(str(v) for v in violations)
+        raise InputBoundednessError(
+            "verification requires input-bounded specifications "
+            f"(Theorem 3.4); violations:\n{lines}\n"
+            "Pass check_input_bounded=False to search anyway "
+            "(sound for bug finding over the bounded domain).",
+            tuple(violations),
+        )
+
+
+def verify(composition: Composition,
+           prop: LTLFOSentence | str,
+           databases: Mapping[str, Instance],
+           semantics: ChannelSemantics = DECIDABLE_DEFAULT,
+           domain: VerificationDomain | None = None,
+           check_input_bounded: bool = True,
+           budget: SearchBudget | None = None,
+           include_environment: bool = True,
+           transition_cache: TransitionCache | None = None,
+           valuation_candidates: Mapping[str, Sequence[Value]] | None = None,
+           env_value_domain: Sequence[Value] | None = None,
+           env_one_action_per_move: bool = True,
+           fair_scheduling: bool = False,
+           ) -> VerificationResult:
+    """Decide ``composition |= prop`` over the given databases.
+
+    Arguments
+    ---------
+    composition:
+        A (normally closed) composition.  Open compositions are verified
+        against an unconstrained environment (every environment behaviour
+        over the domain is explored) unless ``include_environment=False``.
+    prop:
+        An :class:`LTLFOSentence` or its textual form.
+    databases:
+        Per-peer database instances (peer name -> :class:`Instance` over
+        the peer's database schema).
+    semantics:
+        Channel semantics; must have bounded queues.
+    domain:
+        Verification domain override; defaults to the computed
+        bounded-domain estimate.
+    check_input_bounded:
+        Enforce the Theorem 3.4 restrictions before searching.
+    transition_cache:
+        Share one :class:`TransitionCache` across several properties of
+        the same composition/databases/semantics (a large saving when
+        checking property batches).
+    valuation_candidates:
+        Optional per-closure-variable value restriction (variable name ->
+        values).  Restricting a variable makes the check complete only
+        for valuations within the candidates -- use it when a variable's
+        role (e.g. "a customer id") makes other values irrelevant.
+    fair_scheduling:
+        Restrict counterexamples to *fair* runs, in which every peer
+        moves infinitely often (``/\\ GF move_W``).  The paper's
+        serialized-run semantics allows a peer to idle forever, which
+        trivially defeats most liveness properties; fairness is the
+        standard remedy (a library extension -- the paper does not
+        discuss fairness).
+    """
+    sentence = _as_sentence(prop, composition)
+    _check_restrictions(composition, sentence, check_input_bounded)
+
+    if domain is None:
+        domain = verification_domain(
+            composition, [sentence], databases
+        )
+
+    stats = VerifierStats()
+    cache = transition_cache or TransitionCache(
+        composition, databases, domain.values, semantics,
+        include_environment=include_environment, budget=budget,
+        env_value_domain=env_value_domain,
+        env_one_action_per_move=env_one_action_per_move,
+    )
+
+    valuations = canonical_valuations(sentence.variables, domain)
+    if valuation_candidates:
+        valuations = [
+            v for v in valuations
+            if all(
+                var.name not in valuation_candidates
+                or v[var] in valuation_candidates[var.name]
+                for var in sentence.variables
+            )
+        ]
+    result_counterexample: Counterexample | None = None
+
+    fairness_terms = []
+    if fair_scheduling:
+        from ..fo.formulas import Atom
+        from ..fo.schema import move_name
+        from ..ltl.formulas import lglobally
+        fairness_terms = [
+            lglobally(lfinally(latom(Atom(move_name(p.name), ()))))
+            for p in composition.peers
+        ]
+
+    with Stopwatch(stats):
+        for valuation in valuations:
+            stats.valuations_checked += 1
+            body = sentence.instantiate(valuation)
+            negated = lnot(body)
+            # Dom(rho) restriction: fresh valuation values must occur
+            occurs_terms = [
+                lfinally(latom(OccursAtom(v)))
+                for v in set(valuation.values())
+                if v not in domain.constants
+            ]
+            nba = ltl_to_buchi(
+                land(negated, *occurs_terms, *fairness_terms)
+            )
+            stats.nba_states_total += nba.num_states()
+            evaluator = SnapshotEvaluator(
+                composition, domain.values, nba.aps
+            )
+            product = ProductSystem(cache, nba, evaluator)
+            lasso_nodes, search_stats = find_accepting_lasso(product)
+            stats.merge_search(search_stats.blue_visited,
+                               search_stats.red_visited)
+            if lasso_nodes is not None:
+                prefix = tuple(n[0] for n in lasso_nodes.prefix)
+                cycle = tuple(n[0] for n in lasso_nodes.cycle)
+                result_counterexample = Counterexample(
+                    valuation={
+                        var.name: value
+                        for var, value in valuation.items()
+                    },
+                    lasso=Lasso(prefix, cycle),
+                    property_text=str(sentence),
+                )
+                break
+        stats.system_states = cache.states_expanded
+
+    return VerificationResult(
+        satisfied=result_counterexample is None,
+        property_text=str(sentence),
+        counterexample=result_counterexample,
+        stats=stats,
+        domain_description=domain.describe(),
+        semantics_description=semantics.describe(),
+    )
+
+
+def verify_over_databases(composition: Composition,
+                          prop: LTLFOSentence | str,
+                          relation_arities_by_peer: Mapping[str, Mapping[str, int]],
+                          domain_values: Sequence[Value],
+                          max_rows: int = 1,
+                          semantics: ChannelSemantics = DECIDABLE_DEFAULT,
+                          **kwargs) -> VerificationResult:
+    """Decide the property over *every* database within the given bounds.
+
+    The completeness companion to :func:`verify`: enumerates all database
+    combinations over ``domain_values`` with at most ``max_rows`` rows per
+    relation (exponential -- tiny schemas only) and returns the first
+    counterexample found, or SATISFIED if none exists anywhere.
+
+    ``relation_arities_by_peer`` maps each peer name to the relation
+    arities of the databases to enumerate, e.g.
+    ``{"S": {"items": 1}}``.
+    """
+    from .domain import enumerate_databases
+    import itertools
+
+    per_peer: list[list[tuple[str, Instance]]] = []
+    for peer_name in sorted(relation_arities_by_peer):
+        arities = relation_arities_by_peer[peer_name]
+        instances = enumerate_databases(arities, domain_values,
+                                        max_rows=max_rows)
+        per_peer.append([(peer_name, inst) for inst in instances])
+
+    last: VerificationResult | None = None
+    combos = itertools.product(*per_peer) if per_peer else [()]
+    for combo in combos:
+        databases = dict(combo)
+        result = verify(composition, prop, databases,
+                        semantics=semantics, **kwargs)
+        if not result.satisfied:
+            return result
+        last = result
+    assert last is not None, "no database combination enumerated"
+    return last
+
+
+def verify_all(composition: Composition,
+               props: Sequence[LTLFOSentence | str],
+               databases: Mapping[str, Instance],
+               semantics: ChannelSemantics = DECIDABLE_DEFAULT,
+               domain: VerificationDomain | None = None,
+               check_input_bounded: bool = True,
+               budget: SearchBudget | None = None,
+               ) -> list[VerificationResult]:
+    """Verify several properties sharing one transition-system exploration."""
+    sentences = [_as_sentence(p, composition) for p in props]
+    if domain is None:
+        domain = verification_domain(composition, sentences, databases)
+    cache = TransitionCache(
+        composition, databases, domain.values, semantics, budget=budget,
+    )
+    return [
+        verify(composition, s, databases, semantics=semantics,
+               domain=domain, check_input_bounded=check_input_bounded,
+               budget=budget, transition_cache=cache)
+        for s in sentences
+    ]

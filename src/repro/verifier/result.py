@@ -1,0 +1,96 @@
+"""Verification results, counterexamples, and statistics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..fo.terms import Value
+from ..runtime.run import Lasso
+from ..spec.composition import Composition
+
+
+@dataclass
+class VerifierStats:
+    """Aggregate counters across a whole verification call."""
+
+    valuations_checked: int = 0
+    system_states: int = 0
+    product_nodes_visited: int = 0
+    nba_states_total: int = 0
+    wall_seconds: float = 0.0
+
+    def merge_search(self, blue: int, red: int) -> None:
+        self.product_nodes_visited += blue + red
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A violating run: the valuation of the closure variables plus the
+    lasso of snapshots witnessing the negated property."""
+
+    valuation: Mapping[str, Value]
+    lasso: Lasso
+    property_text: str
+
+    def describe(self, composition: Composition,
+                 relations=None, max_rows: int = 6) -> str:
+        header = [f"counterexample to: {self.property_text}"]
+        if self.valuation:
+            header.append(f"closure valuation: {dict(self.valuation)}")
+        header.append(
+            f"lasso: {len(self.lasso.prefix)} prefix + "
+            f"{len(self.lasso.cycle)} cycle snapshots"
+        )
+        body = self.lasso.describe(composition, relations=relations,
+                                   max_rows=max_rows)
+        return "\n".join(header) + "\n" + body
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """The outcome of one verification call.
+
+    Truthy iff the property holds.  ``counterexample`` is set exactly when
+    the property fails.
+    """
+
+    satisfied: bool
+    property_text: str
+    counterexample: Counterexample | None
+    stats: VerifierStats
+    domain_description: str
+    semantics_description: str
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+    @property
+    def verdict(self) -> str:
+        return "SATISFIED" if self.satisfied else "VIOLATED"
+
+    def summary(self) -> str:
+        return (
+            f"{self.verdict}: {self.property_text}\n"
+            f"  domain: {self.domain_description}; "
+            f"semantics: {self.semantics_description}\n"
+            f"  valuations: {self.stats.valuations_checked}, "
+            f"system states: {self.stats.system_states}, "
+            f"product nodes: {self.stats.product_nodes_visited}, "
+            f"time: {self.stats.wall_seconds:.3f}s"
+        )
+
+
+class Stopwatch:
+    """Tiny context manager accumulating wall time into VerifierStats."""
+
+    def __init__(self, stats: VerifierStats) -> None:
+        self.stats = stats
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stats.wall_seconds += time.perf_counter() - self._t0

@@ -1,0 +1,87 @@
+"""Shared fixtures: small compositions used across test modules."""
+
+import pytest
+
+from repro.fo import Instance
+from repro.spec import Composition, PeerBuilder
+
+
+@pytest.fixture
+def sender_receiver():
+    """A minimal closed composition: S picks a db value, R stores it."""
+    sender = (
+        PeerBuilder("S")
+        .database("items", 1)
+        .input("pick", 1)
+        .flat_out_queue("msg", 1)
+        .input_rule("pick", ["x"], "items(x)")
+        .send_rule("msg", ["x"], "pick(x)")
+        .build()
+    )
+    receiver = (
+        PeerBuilder("R")
+        .state("got", 1)
+        .flat_in_queue("msg", 1)
+        .insert_rule("got", ["x"], "?msg(x)")
+        .build()
+    )
+    return Composition([sender, receiver])
+
+
+@pytest.fixture
+def sender_receiver_db():
+    return {"S": Instance({"items": [("a",)]})}
+
+
+@pytest.fixture
+def nested_pair():
+    """A closed composition with a nested channel carrying row sets."""
+    producer = (
+        PeerBuilder("P")
+        .database("rows", 2)
+        .input("publish", 0)
+        .nested_out_queue("bulk", 2)
+        .input_rule("publish", [], "true")
+        .send_rule("bulk", ["x", "y"], "publish & rows(x, y)")
+        .build()
+    )
+    consumer = (
+        PeerBuilder("C")
+        .state("stored", 2)
+        .nested_in_queue("bulk", 2)
+        .insert_rule("stored", ["x", "y"], "?bulk(x, y)")
+        .build()
+    )
+    return Composition([producer, consumer])
+
+
+@pytest.fixture
+def nested_pair_db():
+    return {"P": Instance({"rows": [("a", "b"), ("a", "c")]})}
+
+
+@pytest.fixture
+def open_relay():
+    """An open composition: P0 sends to the environment, which feeds P1."""
+    p0 = (
+        PeerBuilder("P0")
+        .database("items", 1)
+        .input("pick", 1)
+        .flat_out_queue("outbound", 1)
+        .input_rule("pick", ["x"], "items(x)")
+        .send_rule("outbound", ["x"], "pick(x)")
+        .build()
+    )
+    p1 = (
+        PeerBuilder("P1")
+        .state("seen", 1)
+        .flat_in_queue("inbound", 1)
+        .insert_rule("seen", ["x"], "?inbound(x)")
+        .build()
+    )
+    return Composition([p0, p1])
+
+
+@pytest.fixture
+def open_relay_db():
+    return {"P0": Instance({"items": [("a",)]})}

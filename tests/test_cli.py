@@ -1,0 +1,136 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.spec.dsl import load_properties
+
+SPEC = """
+peer S {
+    database items/1
+    input pick/1
+    out flat msg/1
+    input pick(x) <- items(x)
+    send  msg(x)  <- pick(x)
+}
+peer R {
+    state got/1
+    in flat msg/1
+    insert got(x) <- ?msg(x)
+}
+database S {
+    items: ("a",)
+}
+property safety:
+    forall x: G( R.got(x) -> S.items(x) )
+property liveness:
+    forall x: G( S.pick(x) -> F R.got(x) )
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "relay.dws"
+    path.write_text(SPEC)
+    return str(path)
+
+
+class TestLoadProperties:
+    def test_both_found(self):
+        props = load_properties(SPEC)
+        assert set(props) == {"safety", "liveness"}
+        assert props["safety"].startswith("forall x:")
+
+    def test_multiline_body_merged(self):
+        props = load_properties(SPEC)
+        assert "F R.got(x)" in props["liveness"]
+
+    def test_duplicate_rejected(self):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            load_properties("property a: G true\nproperty a: G true")
+
+
+class TestVerifyCommand:
+    def test_single_property_ok(self, spec_file, capsys):
+        code = main(["verify", spec_file, "--property", "safety"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "safety: SATISFIED" in out
+
+    def test_failing_property_exit_code(self, spec_file, capsys):
+        code = main(["verify", spec_file, "--property", "liveness"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "liveness: VIOLATED" in out
+
+    def test_all_properties(self, spec_file, capsys):
+        code = main(["verify", spec_file])
+        out = capsys.readouterr().out
+        assert code == 1  # liveness fails
+        assert "safety: SATISFIED" in out
+
+    def test_fair_perfect_flips_liveness(self, spec_file, capsys):
+        code = main(["verify", spec_file, "--property", "liveness",
+                     "--perfect", "--fair"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "liveness: SATISFIED" in out
+
+    def test_counterexample_printed(self, spec_file, capsys):
+        code = main(["verify", spec_file, "--property", "liveness",
+                     "--counterexample"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "counterexample to:" in out
+
+    def test_unknown_property(self, spec_file, capsys):
+        code = main(["verify", spec_file, "--property", "nosuch"])
+        assert code == 2
+
+    def test_no_properties_declared(self, tmp_path, capsys):
+        path = tmp_path / "bare.dws"
+        path.write_text(SPEC.split("property", 1)[0])
+        assert main(["verify", str(path)]) == 2
+
+
+class TestCheckCommand:
+    def test_clean_spec(self, spec_file, capsys):
+        assert main(["check", spec_file]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_violating_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.dws"
+        path.write_text("""
+        peer P {
+            database d/1
+            state s/1
+            out flat q/1
+            insert s(x) <- d(x)
+            send q(x) <- s(x)
+        }
+        """)
+        assert main(["check", str(path)]) == 1
+
+
+class TestSimulateCommand:
+    def test_prints_steps(self, spec_file, capsys):
+        code = main(["simulate", spec_file, "--steps", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("step") == 6
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.dws"
+        path.write_text("peer P { junk }")
+        assert main(["check", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAuctionSpecProperties:
+    def test_shipped_spec_verifies_via_cli(self, capsys):
+        spec = str(Path(__file__).parent.parent / "examples" / "specs"
+                   / "auction.dws")
+        assert main(["verify", spec]) == 0

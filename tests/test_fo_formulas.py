@@ -1,0 +1,133 @@
+"""Unit tests for FO formula construction and structural queries."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.fo import (
+    And, Atom, Const, Eq, Exists, FALSE, Forall, Implies, Not, Or, TRUE,
+    Var, all_vars, atom, atoms, conj, constants, disj, eq, exists, forall,
+    free_vars, implies, instantiate, is_existential_prenex, is_ground_atom,
+    neg, relations, substitute, walk,
+)
+
+
+class TestConstructors:
+    def test_atom_lifts_values(self):
+        a = atom("r", "x-is-a-value-here-no", Var("y"), 3)
+        assert isinstance(a.terms[0], Const)
+        assert isinstance(a.terms[1], Var)
+        assert isinstance(a.terms[2], Const)
+
+    def test_neg_collapses_double_negation(self):
+        a = atom("r", Var("x"))
+        assert neg(neg(a)) == a
+
+    def test_neg_constants(self):
+        assert neg(TRUE) == FALSE
+        assert neg(FALSE) == TRUE
+
+    def test_conj_flattens(self):
+        a, b, c = atom("a"), atom("b"), atom("c")
+        f = conj(conj(a, b), c)
+        assert isinstance(f, And)
+        assert len(f.children) == 3
+
+    def test_conj_units(self):
+        a = atom("a")
+        assert conj(TRUE, a) == a
+        assert conj(FALSE, a) == FALSE
+        assert conj() == TRUE
+
+    def test_disj_units(self):
+        a = atom("a")
+        assert disj(FALSE, a) == a
+        assert disj(TRUE, a) == TRUE
+        assert disj() == FALSE
+
+    def test_quantifier_requires_variables(self):
+        assert exists([], atom("a")) == atom("a")
+        with pytest.raises(FormulaError):
+            Exists((), atom("a"))
+
+    def test_quantifier_rejects_repeats(self):
+        with pytest.raises(FormulaError):
+            Forall((Var("x"), Var("x")), atom("a"))
+
+
+class TestStructure:
+    def setup_method(self):
+        self.f = forall(
+            ["x"],
+            implies(
+                atom("r", Var("x")),
+                exists(["y"], conj(atom("s", Var("x"), Var("y")),
+                                   eq(Var("y"), "c"))),
+            ),
+        )
+
+    def test_walk_visits_all(self):
+        kinds = {type(n).__name__ for n in walk(self.f)}
+        assert {"Forall", "Implies", "Atom", "Exists", "And", "Eq"} <= kinds
+
+    def test_atoms(self):
+        assert {a.rel for a in atoms(self.f)} == {"r", "s"}
+
+    def test_relations(self):
+        assert relations(self.f) == frozenset({"r", "s"})
+
+    def test_constants(self):
+        assert constants(self.f) == frozenset({"c"})
+
+    def test_free_vars_closed(self):
+        assert free_vars(self.f) == frozenset()
+
+    def test_free_vars_open(self):
+        inner = conj(atom("r", Var("x")), atom("s", Var("y")))
+        assert free_vars(exists(["y"], inner)) == frozenset({Var("x")})
+
+    def test_all_vars(self):
+        assert {v.name for v in all_vars(self.f)} == {"x", "y"}
+
+
+class TestSubstitution:
+    def test_substitute_free(self):
+        f = atom("r", Var("x"), Var("y"))
+        g = substitute(f, {Var("x"): Const("a")})
+        assert g == atom("r", "a", Var("y"))
+
+    def test_substitute_respects_binding(self):
+        f = exists(["x"], atom("r", Var("x"), Var("y")))
+        g = substitute(f, {Var("x"): Const("a"), Var("y"): Const("b")})
+        # bound x untouched, free y replaced
+        assert g == exists(["x"], atom("r", Var("x"), "b"))
+
+    def test_instantiate(self):
+        f = eq(Var("x"), Var("y"))
+        g = instantiate(f, {Var("x"): 1, Var("y"): 2})
+        assert g == eq(1, 2)
+
+    def test_capture_detected(self):
+        f = exists(["x"], atom("r", Var("x"), Var("y")))
+        with pytest.raises(FormulaError):
+            substitute(f, {Var("y"): Var("x")})
+
+
+class TestShapes:
+    def test_ground_atom(self):
+        assert is_ground_atom(atom("r", "a", 1))
+        assert not is_ground_atom(atom("r", Var("x")))
+
+    def test_existential_prenex_accepts(self):
+        f = exists(["x", "y"], conj(atom("r", Var("x")), atom("s", Var("y"))))
+        assert is_existential_prenex(f)
+
+    def test_existential_prenex_accepts_quantifier_free(self):
+        assert is_existential_prenex(atom("r", Var("x")))
+
+    def test_existential_prenex_rejects_inner_forall(self):
+        f = exists(["x"], forall(["y"], atom("r", Var("x"), Var("y"))))
+        assert not is_existential_prenex(f)
+
+    def test_existential_prenex_rejects_nested_exists(self):
+        f = conj(atom("a"), exists(["x"], atom("r", Var("x"))))
+        assert not is_existential_prenex(f)

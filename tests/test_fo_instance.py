@@ -1,0 +1,120 @@
+"""Unit tests for relational instances."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.fo import (
+    Instance, RelationKind, RelationSymbol, Schema, empty_instance,
+    validate_against,
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        inst = Instance()
+        assert inst["anything"] == frozenset()
+
+    def test_rows_frozen(self):
+        inst = Instance({"r": [("a", 1), ("b", 2)]})
+        assert inst["r"] == frozenset({("a", 1), ("b", 2)})
+
+    def test_duplicate_rows_collapse(self):
+        inst = Instance({"r": [("a",), ("a",)]})
+        assert len(inst["r"]) == 1
+
+    def test_rejects_non_values(self):
+        with pytest.raises(SchemaError):
+            Instance({"r": [(1.5,)]})
+
+    def test_schema_validates_arity(self):
+        schema = Schema([RelationSymbol("r", 2, RelationKind.DATABASE)])
+        with pytest.raises(SchemaError):
+            Instance({"r": [("a",)]}, schema=schema)
+
+    def test_schema_fills_missing_relations(self):
+        schema = Schema([RelationSymbol("r", 1, RelationKind.DATABASE)])
+        inst = Instance({}, schema=schema)
+        assert "r" in inst
+
+    def test_schema_rejects_unknown(self):
+        schema = Schema([])
+        with pytest.raises(SchemaError):
+            Instance({"r": [("a",)]}, schema=schema)
+
+
+class TestEqualityHashing:
+    def test_empty_relations_ignored_in_equality(self):
+        assert Instance({"r": []}) == Instance({})
+
+    def test_hash_consistency(self):
+        a = Instance({"r": [("x",)], "s": []})
+        b = Instance({"r": [("x",)]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Instance({"r": [("x",)]}) != Instance({"r": [("y",)]})
+
+    def test_from_frozen_matches_regular(self):
+        regular = Instance({"r": [("x",)]})
+        fast = Instance._from_frozen({"r": frozenset({("x",)})})
+        assert regular == fast
+        assert hash(regular) == hash(fast)
+
+
+class TestQueries:
+    def test_truth_propositional(self):
+        assert Instance({"p": [()]}).truth("p")
+        assert not Instance({"p": []}).truth("p")
+        assert not Instance().truth("p")
+
+    def test_active_domain(self):
+        inst = Instance({"r": [("a", 1)], "s": [("b",)]})
+        assert inst.active_domain() == frozenset({"a", 1, "b"})
+
+    def test_total_rows(self):
+        inst = Instance({"r": [("a",), ("b",)], "s": [("c",)]})
+        assert inst.total_rows() == 3
+
+
+class TestCopies:
+    def test_updated(self):
+        inst = Instance({"r": [("a",)]}).updated("r", [("b",)])
+        assert inst["r"] == frozenset({("b",)})
+
+    def test_with_truth(self):
+        inst = Instance().with_truth("p", True)
+        assert inst.truth("p")
+        assert not inst.with_truth("p", False).truth("p")
+
+    def test_merged_other_wins(self):
+        a = Instance({"r": [("a",)], "keep": [("k",)]})
+        b = Instance({"r": [("b",)]})
+        merged = a.merged(b)
+        assert merged["r"] == frozenset({("b",)})
+        assert merged["keep"] == frozenset({("k",)})
+
+    def test_restricted(self):
+        inst = Instance({"r": [("a",)], "s": [("b",)]}).restricted(["r"])
+        assert inst["s"] == frozenset()
+        assert inst["r"]
+
+    def test_qualified(self):
+        inst = Instance({"r": [("a",)]}).qualified("P")
+        assert inst["P.r"] == frozenset({("a",)})
+        assert inst["r"] == frozenset()
+
+
+class TestValidation:
+    def test_validate_against_passes(self):
+        schema = Schema([RelationSymbol("r", 1, RelationKind.DATABASE)])
+        validate_against(Instance({"r": [("a",)]}), schema)
+
+    def test_validate_against_bad_arity(self):
+        schema = Schema([RelationSymbol("r", 2, RelationKind.DATABASE)])
+        with pytest.raises(SchemaError):
+            validate_against(Instance({"r": [("a",)]}), schema)
+
+    def test_empty_instance_helper(self):
+        schema = Schema([RelationSymbol("r", 1, RelationKind.DATABASE)])
+        assert empty_instance(schema)["r"] == frozenset()

@@ -1,0 +1,165 @@
+"""Tests for the FO surface-syntax parser."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.fo import (
+    And, Atom, Const, Eq, Exists, Forall, Implies, Not, Or, RelationKind,
+    RelationSymbol, Schema, Var, free_vars, parse_fo, tokenize,
+)
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize('r(x, "lit") & y = 3')]
+        assert kinds == ["ident", "op", "ident", "op", "string", "op",
+                         "op", "ident", "op", "number", "eof"]
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError):
+            tokenize("r(x) # comment")
+
+    def test_qualified_ident_with_sigil(self):
+        toks = tokenize("O.?apply(x)")
+        assert toks[0].text == "O.?apply"
+
+    def test_negative_number(self):
+        toks = tokenize("x = -5")
+        assert toks[2].text == "-5"
+
+
+class TestParsing:
+    def test_atom(self):
+        f = parse_fo("customer(id, ssn, name)")
+        assert f == Atom("customer", (Var("id"), Var("ssn"), Var("name")))
+
+    def test_propositional_atom(self):
+        assert parse_fo("applied") == Atom("applied", ())
+
+    def test_string_constant(self):
+        f = parse_fo('status(x, "open")')
+        assert f.terms[1] == Const("open")
+
+    def test_integer_constant(self):
+        f = parse_fo("level(7)")
+        assert f.terms[0] == Const(7)
+
+    def test_equality_and_inequality(self):
+        assert parse_fo("x = y") == Eq(Var("x"), Var("y"))
+        assert parse_fo("x != y") == Not(Eq(Var("x"), Var("y")))
+
+    def test_constant_on_left_of_equality(self):
+        f = parse_fo('"a" = x')
+        assert f == Eq(Const("a"), Var("x"))
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        f = parse_fo("a & b | c")
+        assert isinstance(f, Or)
+
+    def test_precedence_implies_loosest(self):
+        f = parse_fo("a & b -> c")
+        assert isinstance(f, Implies)
+        assert isinstance(f.antecedent, And)
+
+    def test_implies_right_associative(self):
+        f = parse_fo("a -> b -> c")
+        assert isinstance(f.consequent, Implies)
+
+    def test_negation(self):
+        f = parse_fo("~a & not b")
+        assert isinstance(f, And)
+        assert all(isinstance(c, Not) for c in f.children)
+
+    def test_iff_expands(self):
+        f = parse_fo("a <-> b")
+        assert isinstance(f, And)
+
+    def test_quantifier_scope_maximal(self):
+        f = parse_fo("exists x: r(x) & s(x)")
+        assert isinstance(f, Exists)
+        assert free_vars(f) == frozenset()
+
+    def test_quantifier_in_parens(self):
+        f = parse_fo("(exists x: r(x)) & s(y)")
+        assert isinstance(f, And)
+
+    def test_forall_with_implication(self):
+        f = parse_fo("forall x: r(x) -> s(x)")
+        assert isinstance(f, Forall)
+        assert isinstance(f.body, Implies)
+
+    def test_multi_variable_quantifier(self):
+        f = parse_fo("exists x, y: r(x, y)")
+        assert isinstance(f, Exists)
+        assert len(f.variables) == 2
+
+    def test_dot_accepted_as_quantifier_separator(self):
+        f = parse_fo("exists x . r(x)")
+        assert isinstance(f, Exists)
+
+    def test_true_false(self):
+        from repro.fo import TRUE, FALSE
+        assert parse_fo("true") == TRUE
+        assert parse_fo("false") == FALSE
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fo("r(x) r(y)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fo("(r(x)")
+
+
+class TestSchemaValidation:
+    def setup_method(self):
+        self.schema = Schema([
+            RelationSymbol("customer", 3, RelationKind.DATABASE),
+            RelationSymbol("apply", 2, RelationKind.IN_QUEUE),
+            RelationSymbol("getRating", 1, RelationKind.OUT_QUEUE),
+        ])
+
+    def test_known_relation_ok(self):
+        parse_fo("customer(a, b, c)", self.schema)
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_fo("nosuch(x)", self.schema)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_fo("customer(a, b)", self.schema)
+
+    def test_in_queue_sigil(self):
+        f = parse_fo("?apply(x, y)", self.schema)
+        assert f.rel == "apply"
+
+    def test_out_queue_sigil(self):
+        f = parse_fo("!getRating(x)", self.schema)
+        assert f.rel == "getRating"
+
+    def test_wrong_sigil_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_fo("!apply(x, y)", self.schema)
+        with pytest.raises(SchemaError):
+            parse_fo("?customer(a, b, c)", self.schema)
+
+    def test_qualified_sigil(self):
+        schema = Schema([
+            RelationSymbol("apply", 2, RelationKind.IN_QUEUE, owner="O"),
+        ])
+        f = parse_fo("O.?apply(x, y)", schema)
+        assert f.rel == "O.apply"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "exists x: r(x) & (s(x) | t(x))",
+        'forall a, b: p(a, b) -> a = b',
+        "~(a & b) | c",
+        'q(x, "v") & x != "v"',
+    ])
+    def test_str_reparses_to_same_tree(self, text):
+        first = parse_fo(text)
+        second = parse_fo(str(first).replace(". (", ": ("))
+        assert first == second

@@ -1,0 +1,102 @@
+"""Unit tests for relation symbols and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.fo import RelationKind, RelationSymbol, Schema
+from repro.fo.schema import (
+    empty_name, error_name, move_name, prev_name, received_name,
+)
+
+
+def sym(name, arity=1, kind=RelationKind.DATABASE, **kw):
+    return RelationSymbol(name, arity, kind, **kw)
+
+
+class TestRelationSymbol:
+    def test_qualified_name(self):
+        s = sym("customer", 3, owner="O")
+        assert s.qualified_name == "O.customer"
+
+    def test_unqualified_name(self):
+        assert sym("customer").qualified_name == "customer"
+
+    def test_qualify(self):
+        s = sym("apply", 2, RelationKind.IN_QUEUE).qualify("O")
+        assert s.owner == "O"
+        assert s.qualified_name == "O.apply"
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            sym("r", -1)
+
+    def test_nested_only_for_queues(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("r", 1, RelationKind.STATE, nested=True)
+
+    def test_flat_and_nested_queue_predicates(self):
+        flat = RelationSymbol("q", 1, RelationKind.IN_QUEUE)
+        nested = RelationSymbol("q", 1, RelationKind.OUT_QUEUE, nested=True)
+        assert flat.is_flat_queue and not flat.is_nested_queue
+        assert nested.is_nested_queue and not nested.is_flat_queue
+        assert not sym("d").is_queue
+
+
+class TestSchema:
+    def test_lookup(self):
+        s = Schema([sym("a"), sym("b", 2)])
+        assert s["a"].arity == 1
+        assert s["b"].arity == 2
+
+    def test_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema([])["missing"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([sym("a"), sym("a", 2)])
+
+    def test_same_name_different_owner_ok(self):
+        s = Schema([sym("a", owner="P"), sym("a", owner="Q")])
+        assert len(s) == 2
+
+    def test_of_kind(self):
+        s = Schema([
+            sym("d"), sym("s", 1, RelationKind.STATE),
+            sym("i", 1, RelationKind.INPUT),
+        ])
+        names = [x.name for x in s.of_kind(RelationKind.STATE,
+                                           RelationKind.INPUT)]
+        assert names == ["i", "s"]
+
+    def test_merge_conflict(self):
+        with pytest.raises(SchemaError):
+            Schema([sym("a")]).merge(Schema([sym("a")]))
+
+    def test_restrict(self):
+        s = Schema([sym("a"), sym("b")]).restrict(["a"])
+        assert s.names() == ("a",)
+
+    def test_restrict_unknown(self):
+        with pytest.raises(SchemaError):
+            Schema([sym("a")]).restrict(["zzz"])
+
+
+class TestDerivedNames:
+    def test_prev(self):
+        assert prev_name("reccom") == "prev_reccom"
+        assert prev_name("O.reccom") == "O.prev_reccom"
+
+    def test_empty(self):
+        assert empty_name("history") == "empty_history"
+        assert empty_name("O.history") == "O.empty_history"
+
+    def test_error(self):
+        assert error_name("ship") == "error_ship"
+
+    def test_received(self):
+        assert received_name("rating") == "received_rating"
+        assert received_name("O.rating") == "O.received_rating"
+
+    def test_move(self):
+        assert move_name("O") == "move_O"

@@ -1,0 +1,66 @@
+"""Unit tests for terms and values."""
+
+import pytest
+
+from repro.fo import Const, Var, is_value, value_sort_key
+from repro.fo.terms import term_sort_key
+
+
+class TestVar:
+    def test_str(self):
+        assert str(Var("x")) == "x"
+
+    def test_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_hashable(self):
+        assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_rejects_leading_digit(self):
+        with pytest.raises(ValueError):
+            Var("1x")
+
+    def test_underscore_allowed(self):
+        assert Var("_tmp").name == "_tmp"
+
+
+class TestConst:
+    def test_str_quotes_strings(self):
+        assert str(Const("approve")) == '"approve"'
+
+    def test_str_numbers_bare(self):
+        assert str(Const(42)) == "42"
+
+    def test_equality(self):
+        assert Const(1) == Const(1)
+        assert Const(1) != Const("1")
+
+
+class TestValues:
+    def test_strings_and_ints_are_values(self):
+        assert is_value("abc")
+        assert is_value(0)
+        assert is_value(-3)
+
+    def test_bool_is_not_a_value(self):
+        assert not is_value(True)
+
+    def test_none_and_float_are_not_values(self):
+        assert not is_value(None)
+        assert not is_value(1.5)
+
+    def test_sort_key_total_order_over_mixed(self):
+        values = ["b", 2, "a", 1]
+        ordered = sorted(values, key=value_sort_key)
+        assert ordered == [1, 2, "a", "b"]
+
+    def test_term_sort_key_vars_before_consts(self):
+        terms = [Const("a"), Var("z"), Const(1), Var("a")]
+        ordered = sorted(terms, key=term_sort_key)
+        assert ordered[0] == Var("a")
+        assert ordered[1] == Var("z")

@@ -1,0 +1,188 @@
+"""Tests for the input-boundedness checker (Section 3.1)."""
+
+import pytest
+
+from repro.errors import InputBoundednessError
+from repro.fo import RelationKind, RelationSymbol, Schema, parse_fo
+from repro.ib import (
+    check_composition, check_formula, check_peer, check_sentence,
+    is_input_bounded_composition, require_input_bounded, summarize,
+)
+from repro.ltlfo import parse_ltlfo
+from repro.spec import Composition, PeerBuilder
+
+
+def make_schema():
+    return Schema([
+        RelationSymbol("db", 2, RelationKind.DATABASE),
+        RelationSymbol("inp", 2, RelationKind.INPUT),
+        RelationSymbol("prev_inp", 2, RelationKind.PREV_INPUT),
+        RelationSymbol("st", 2, RelationKind.STATE),
+        RelationSymbol("act", 1, RelationKind.ACTION),
+        RelationSymbol("fq", 2, RelationKind.IN_QUEUE),
+        RelationSymbol("nq", 2, RelationKind.IN_QUEUE, nested=True),
+        RelationSymbol("fout", 1, RelationKind.OUT_QUEUE),
+    ])
+
+
+class TestFormulaCheck:
+    def setup_method(self):
+        self.schema = make_schema()
+
+    def check(self, text, strict=False):
+        return check_formula(parse_fo(text, self.schema), self.schema,
+                             strict=strict)
+
+    def test_quantifier_free_ok(self):
+        assert self.check("st(x, y) & inp(x, y)") == []
+
+    def test_input_guarded_exists_ok(self):
+        assert self.check("exists x, y: inp(x, y) & db(x, y)") == []
+
+    def test_prev_input_guard_ok(self):
+        assert self.check("exists x, y: prev_inp(x, y) & db(x, y)") == []
+
+    def test_flat_queue_guard_ok(self):
+        assert self.check("exists x, y: fq(x, y) & db(x, y)") == []
+
+    def test_flat_out_queue_guard_ok(self):
+        assert self.check("exists x: fout(x) & db(x, x)") == []
+
+    def test_db_guard_ok_in_liberal_mode(self):
+        assert self.check("exists x: db(x, x)") == []
+
+    def test_db_guard_rejected_in_strict_mode(self):
+        assert self.check("exists x: db(x, x)", strict=True)
+
+    def test_nested_queue_guard_rejected(self):
+        assert self.check("exists x, y: nq(x, y)")
+
+    def test_unguarded_exists_rejected(self):
+        assert self.check("exists x: x = x")
+
+    def test_guard_must_cover_all_variables(self):
+        # inp(x, x) covers only x; nothing guards y
+        violations = self.check("exists x, y: inp(x, x) & x = y")
+        assert violations
+
+    def test_quantified_var_in_state_atom_rejected(self):
+        violations = self.check("exists x, y: inp(x, y) & st(x, y)")
+        assert violations
+        assert "state" in violations[0].reason
+
+    def test_quantified_var_in_action_atom_rejected(self):
+        assert self.check("exists x, y: inp(x, y) & act(x)")
+
+    def test_quantified_var_in_nested_queue_atom_rejected(self):
+        assert self.check("exists x, y: inp(x, y) & nq(x, y)")
+
+    def test_forall_guarded_implication_ok(self):
+        assert self.check("forall x, y: inp(x, y) -> db(x, y)") == []
+
+    def test_forall_without_implication_rejected(self):
+        assert self.check("forall x, y: inp(x, y) & db(x, y)")
+
+    def test_free_variables_unrestricted(self):
+        # free variables may appear in state atoms (closure vars of
+        # properties do, cf. Example 3.2)
+        assert self.check("st(a, b) & act(a)") == []
+
+    def test_nested_quantifiers(self):
+        text = ("exists x, y: inp(x, y) & "
+                "(forall u, w: prev_inp(u, w) -> db(u, w))")
+        assert self.check(text) == []
+
+
+class TestPeerCheck:
+    def test_compliant_peer(self):
+        peer = (
+            PeerBuilder("P")
+            .database("d", 1).input("i", 1).state("s", 1)
+            .flat_out_queue("q", 1)
+            .input_rule("i", ["x"], "d(x)")
+            .insert_rule("s", ["x"], "exists y: i(y) & d(x)")
+            .send_rule("q", ["x"], "i(x)")
+            .build()
+        )
+        assert check_peer(peer) == []
+
+    def test_input_rule_must_be_exists_star(self):
+        peer = (
+            PeerBuilder("P")
+            .database("d", 1).input("i", 1)
+            .input_rule("i", ["x"], "forall y: d(y) -> d(x)")
+            .build()
+        )
+        violations = check_peer(peer)
+        assert any("exists*" in v.reason for v in violations)
+
+    def test_input_rule_state_atoms_must_be_ground(self):
+        peer = (
+            PeerBuilder("P")
+            .database("d", 1).input("i", 1).state("s", 1)
+            .input_rule("i", ["x"], "d(x) & s(x)")
+            .build()
+        )
+        violations = check_peer(peer)
+        assert any("ground" in v.reason for v in violations)
+
+    def test_input_rule_ground_state_atom_ok(self):
+        peer = (
+            PeerBuilder("P")
+            .database("d", 1).input("i", 1).state("flag", 0)
+            .input_rule("i", ["x"], "d(x) & ~flag")
+            .build()
+        )
+        assert check_peer(peer) == []
+
+    def test_flat_send_rule_checked_as_exists_star(self):
+        peer = (
+            PeerBuilder("P")
+            .database("d", 1).state("s", 1).flat_out_queue("q", 1)
+            .send_rule("q", ["x"], "d(x) & s(x)")
+            .build()
+        )
+        assert check_peer(peer)
+
+    def test_nested_send_rule_checked_as_input_bounded(self):
+        peer = (
+            PeerBuilder("P")
+            .database("d", 1).state("s", 1).nested_out_queue("q", 1)
+            .send_rule("q", ["x"], "d(x) & s(x)")   # no quantifier: fine
+            .build()
+        )
+        assert check_peer(peer) == []
+
+
+class TestSentenceCheck:
+    def test_closure_vars_exempt(self):
+        schema = make_schema()
+        s = parse_ltlfo("forall x, y: G( st(x, y) -> F act(x) )", schema)
+        assert check_sentence(s, schema) == []
+
+    def test_payload_quantifier_checked(self):
+        schema = make_schema()
+        s = parse_ltlfo("G (exists x, y: nq(x, y))", schema)
+        assert check_sentence(s, schema)
+
+
+class TestCompositionCheck:
+    def test_loan_composition_is_input_bounded(self):
+        from repro.library.loan import loan_composition
+        assert is_input_bounded_composition(loan_composition())
+        assert is_input_bounded_composition(loan_composition(gated=False))
+
+    def test_require_raises_with_diagnostics(self):
+        peer = (
+            PeerBuilder("P")
+            .database("d", 1).state("s", 1).flat_out_queue("q", 1)
+            .send_rule("q", ["x"], "d(x) & s(x)")
+            .build()
+        )
+        comp = Composition([peer])
+        with pytest.raises(InputBoundednessError) as err:
+            require_input_bounded(comp)
+        assert err.value.violations
+
+    def test_summarize(self):
+        assert "no violations" in summarize([])

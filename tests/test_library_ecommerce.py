@@ -1,0 +1,74 @@
+"""Tests for the e-commerce composition."""
+
+import pytest
+
+from repro.ib import is_input_bounded_composition
+from repro.library.ecommerce import (
+    PROPERTY_AUTH_HONEST, PROPERTY_NO_SHIP_ON_DECLINE,
+    PROPERTY_ORDER_RESOLVED, PROPERTY_SHIP_REQUIRES_AUTH,
+    ecommerce_composition, standard_database,
+)
+from repro.runtime import reachable_states
+from repro.verifier import verification_domain, verify
+
+CANDS = {"p": ("widget",), "card": ("visa", "amex")}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    comp = ecommerce_composition()
+    dbs = standard_database("good")
+    dom = verification_domain(comp, [], dbs, fresh_count=1)
+    return comp, dbs, dom
+
+
+class TestStructure:
+    def test_closed(self):
+        assert ecommerce_composition().is_closed
+
+    def test_input_bounded(self):
+        assert is_input_bounded_composition(ecommerce_composition())
+
+
+class TestBehaviour:
+    def test_shipping_reachable_with_good_card(self, setup):
+        comp, dbs, dom = setup
+        states = reachable_states(comp, dbs, dom.values, limit=300_000)
+        shipped = set()
+        for s in states:
+            shipped |= s.data["Store.ship"]
+        assert ("widget", "visa") in shipped
+
+    def test_bad_card_never_ships(self):
+        comp = ecommerce_composition()
+        dbs = standard_database("bad")
+        dom = verification_domain(comp, [], dbs, fresh_count=1)
+        states = reachable_states(comp, dbs, dom.values, limit=300_000)
+        for s in states:
+            assert not s.data["Store.ship"]
+
+
+class TestProperties:
+    def test_ship_requires_order(self, setup):
+        comp, dbs, dom = setup
+        r = verify(comp, PROPERTY_SHIP_REQUIRES_AUTH, dbs, domain=dom,
+                   valuation_candidates=CANDS)
+        assert r.satisfied, r.summary()
+
+    def test_no_ship_on_decline(self, setup):
+        comp, dbs, dom = setup
+        r = verify(comp, PROPERTY_NO_SHIP_ON_DECLINE, dbs, domain=dom,
+                   valuation_candidates=CANDS)
+        assert r.satisfied, r.summary()
+
+    def test_auth_honest(self, setup):
+        comp, dbs, dom = setup
+        r = verify(comp, PROPERTY_AUTH_HONEST, dbs, domain=dom,
+                   valuation_candidates=CANDS)
+        assert r.satisfied, r.summary()
+
+    def test_order_resolution_fails_lossy(self, setup):
+        comp, dbs, dom = setup
+        r = verify(comp, PROPERTY_ORDER_RESOLVED, dbs, domain=dom,
+                   valuation_candidates=CANDS)
+        assert not r.satisfied

@@ -1,0 +1,136 @@
+"""Tests for the paper's loan composition (Examples 1.1/2.2/3.2/5.1)."""
+
+import pytest
+
+from repro.ib import is_input_bounded_composition
+from repro.library.loan import (
+    CREDIT_CATEGORIES, ENV_SPEC_RATING_CATEGORIES, PROPERTY_BANK_POLICY,
+    PROPERTY_BANK_POLICY_POINTWISE, PROPERTY_LETTER_NEEDS_APPLICATION,
+    PROPERTY_RESPONSIVENESS, STANDARD_CANDIDATES, loan_composition,
+    officer_side_composition, standard_database,
+)
+from repro.runtime import reachable_states, simulate
+from repro.verifier import verification_domain, verify
+
+
+@pytest.fixture(scope="module")
+def fair_setup():
+    comp = loan_composition()
+    dbs = standard_database("fair")
+    dom = verification_domain(comp, [], dbs, fresh_count=1)
+    return comp, dbs, dom
+
+
+class TestStructure:
+    def test_closed_with_seven_channels(self):
+        comp = loan_composition()
+        assert comp.is_closed
+        assert {c.name for c in comp.channels} == {
+            "apply", "getRating", "rating", "getHistory", "history",
+            "recommend", "decision",
+        }
+
+    def test_nested_channels(self):
+        comp = loan_composition()
+        assert comp.channel("history").nested
+        assert comp.channel("recommend").nested
+        assert not comp.channel("rating").nested
+
+    def test_input_bounded_both_scales(self):
+        assert is_input_bounded_composition(loan_composition())
+        assert is_input_bounded_composition(loan_composition(gated=False))
+        assert is_input_bounded_composition(
+            loan_composition(buggy_officer=True)
+        )
+
+    def test_open_variant(self):
+        comp = officer_side_composition()
+        assert not comp.is_closed
+        env_names = {c.name for c in comp.environment_channels()}
+        assert env_names == {"getRating", "getHistory", "rating", "history"}
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            standard_database("stellar")
+
+
+class TestBehaviour:
+    def test_letters_reachable_for_fair_category(self, fair_setup):
+        comp, dbs, dom = fair_setup
+        states = reachable_states(comp, dbs, dom.values)
+        letters = set()
+        for s in states:
+            letters |= s.data["O.letter"]
+        assert ("c1", "ann", "small", "approved") in letters
+        assert ("c1", "ann", "small", "denied") in letters
+
+    def test_excellent_auto_approves(self):
+        comp = loan_composition()
+        dbs = standard_database("excellent")
+        dom = verification_domain(comp, [], dbs, fresh_count=1)
+        states = reachable_states(comp, dbs, dom.values)
+        letters = set()
+        for s in states:
+            letters |= s.data["O.letter"]
+        assert ("c1", "ann", "small", "approved") in letters
+        # without a manager path, no denial is possible
+        assert ("c1", "ann", "small", "denied") not in letters
+
+    def test_poor_auto_denies(self):
+        comp = loan_composition()
+        dbs = standard_database("poor")
+        dom = verification_domain(comp, [], dbs, fresh_count=1)
+        states = reachable_states(comp, dbs, dom.values)
+        letters = set()
+        for s in states:
+            letters |= s.data["O.letter"]
+        assert letters <= {("c1", "ann", "small", "denied")}
+
+    def test_free_running_variant_simulates(self):
+        comp = loan_composition(gated=False)
+        dbs = standard_database("excellent")
+        dom = verification_domain(comp, [], dbs, fresh_count=1)
+        trace = simulate(comp, dbs, dom.values, steps=20, seed=11)
+        assert len(trace) == 21
+
+
+class TestProperties:
+    @pytest.mark.parametrize("category", CREDIT_CATEGORIES)
+    def test_pointwise_policy_holds(self, category):
+        comp = loan_composition()
+        dbs = standard_database(category)
+        dom = verification_domain(comp, [], dbs, fresh_count=1)
+        r = verify(comp, PROPERTY_BANK_POLICY_POINTWISE, dbs, domain=dom,
+                   valuation_candidates=STANDARD_CANDIDATES)
+        assert r.satisfied, r.summary()
+
+    def test_buggy_officer_caught(self):
+        comp = loan_composition(buggy_officer=True)
+        dbs = standard_database("poor")
+        dom = verification_domain(comp, [], dbs, fresh_count=1)
+        r = verify(comp, PROPERTY_BANK_POLICY_POINTWISE, dbs, domain=dom,
+                   valuation_candidates=STANDARD_CANDIDATES)
+        assert not r.satisfied
+        assert r.counterexample.valuation["id"] == "c1"
+
+    def test_letter_needs_application_holds(self, fair_setup):
+        comp, dbs, dom = fair_setup
+        r = verify(comp, PROPERTY_LETTER_NEEDS_APPLICATION, dbs,
+                   domain=dom, valuation_candidates=STANDARD_CANDIDATES)
+        assert r.satisfied
+
+    def test_responsiveness_fails_under_lossy(self, fair_setup):
+        # Example 3.2's property (11) is liveness: a lost message (or an
+        # idle officer) yields a counterexample -- the expected verdict in
+        # this semantics (EXPERIMENTS.md, finding E1-F1)
+        comp, dbs, dom = fair_setup
+        r = verify(comp, PROPERTY_RESPONSIVENESS, dbs, domain=dom,
+                   valuation_candidates=STANDARD_CANDIDATES)
+        assert not r.satisfied
+
+    def test_literal_b_form_policy_violated_by_timing(self, fair_setup):
+        # the literal property (12): see EXPERIMENTS.md, finding E1-F2
+        comp, dbs, dom = fair_setup
+        r = verify(comp, PROPERTY_BANK_POLICY, dbs, domain=dom,
+                   valuation_candidates=STANDARD_CANDIDATES)
+        assert not r.satisfied

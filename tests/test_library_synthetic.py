@@ -1,0 +1,68 @@
+"""Tests for the synthetic benchmark families."""
+
+import pytest
+
+from repro.ib import is_input_bounded_composition
+from repro.library.synthetic import (
+    chain_databases, chain_liveness_property, chain_safety_property,
+    relay_chain, relay_ring, wide_databases, wide_peer,
+    wide_safety_property,
+)
+from repro.verifier import verification_domain, verify
+
+
+class TestGenerators:
+    def test_chain_structure(self):
+        comp = relay_chain(2)
+        assert [p.name for p in comp.peers] == ["P0", "P1", "P2", "P3"]
+        assert comp.is_closed
+
+    def test_chain_zero_relays(self):
+        comp = relay_chain(0)
+        assert len(comp.peers) == 2
+
+    def test_chain_negative_rejected(self):
+        with pytest.raises(ValueError):
+            relay_chain(-1)
+
+    def test_ring_structure(self):
+        comp = relay_ring(2)
+        assert comp.is_closed
+        # the last queue feeds back to P0
+        assert comp.channel("q2").receiver == "P0"
+
+    def test_wide_peer(self):
+        comp = wide_peer(3)
+        assert comp.channel("ship").arity == 3
+
+    def test_all_input_bounded(self):
+        for comp in (relay_chain(2), relay_ring(2), wide_peer(3)):
+            assert is_input_bounded_composition(comp)
+
+
+class TestVerification:
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_chain_safety_scales(self, n):
+        comp = relay_chain(n)
+        r = verify(comp, chain_safety_property(n), chain_databases(n))
+        assert r.satisfied
+
+    def test_chain_liveness_fails(self):
+        comp = relay_chain(1)
+        r = verify(comp, chain_liveness_property(1), chain_databases(1))
+        assert not r.satisfied
+
+    @pytest.mark.parametrize("arity", [1, 2, 3])
+    def test_wide_safety_scales_arity(self, arity):
+        comp = wide_peer(arity)
+        dom = verification_domain(comp, [], wide_databases(arity),
+                                  fresh_count=1)
+        r = verify(comp, wide_safety_property(arity),
+                   wide_databases(arity), domain=dom)
+        assert r.satisfied
+
+    def test_ring_round_trip(self):
+        comp = relay_ring(1)
+        r = verify(comp, "forall x: G( P0.returned(x) -> P0.items(x) )",
+                   chain_databases(1))
+        assert r.satisfied

@@ -1,0 +1,72 @@
+"""Tests for the travel-booking composition (nested offers)."""
+
+import pytest
+
+from repro.ib import is_input_bounded_composition
+from repro.library.travel import (
+    PROPERTY_BOOKING_CONFIRMED, PROPERTY_ITINERARY_CONFIRMED,
+    PROPERTY_OFFERS_FROM_CATALOG, standard_database, travel_composition,
+)
+from repro.runtime import reachable_states
+from repro.verifier import verification_domain, verify
+
+CANDS = {"f": ("fl1",), "d": ("rome",), "r": ("rm1",)}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    comp = travel_composition()
+    dbs = standard_database()
+    dom = verification_domain(comp, [], dbs, fresh_count=1)
+    return comp, dbs, dom
+
+
+class TestStructure:
+    def test_closed(self):
+        assert travel_composition().is_closed
+
+    def test_nested_offer_channels(self):
+        comp = travel_composition()
+        assert comp.channel("flights").nested
+        assert comp.channel("rooms").nested
+
+    def test_input_bounded(self):
+        assert is_input_bounded_composition(travel_composition())
+
+
+class TestBehaviour:
+    def test_offers_collected(self, setup):
+        comp, dbs, dom = setup
+        states = reachable_states(comp, dbs, dom.values, limit=300_000)
+        offers = set()
+        for s in states:
+            offers |= s.data["Agency.flightOffers"]
+        assert ("fl1", "rome") in offers
+
+    def test_booking_reachable(self, setup):
+        comp, dbs, dom = setup
+        states = reachable_states(comp, dbs, dom.values, limit=300_000)
+        booked = set()
+        for s in states:
+            booked |= s.data["Agency.booked"]
+        assert ("fl1", "rome") in booked
+
+
+class TestProperties:
+    def test_itinerary_confirmed(self, setup):
+        comp, dbs, dom = setup
+        r = verify(comp, PROPERTY_ITINERARY_CONFIRMED, dbs, domain=dom,
+                   valuation_candidates=CANDS)
+        assert r.satisfied, r.summary()
+
+    def test_offers_from_catalog(self, setup):
+        comp, dbs, dom = setup
+        r = verify(comp, PROPERTY_OFFERS_FROM_CATALOG, dbs, domain=dom,
+                   valuation_candidates=CANDS)
+        assert r.satisfied, r.summary()
+
+    def test_booking_confirmation_fails_lossy(self, setup):
+        comp, dbs, dom = setup
+        r = verify(comp, PROPERTY_BOOKING_CONFIRMED, dbs, domain=dom,
+                   valuation_candidates=CANDS)
+        assert not r.satisfied

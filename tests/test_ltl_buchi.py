@@ -1,0 +1,157 @@
+"""Tests for Büchi automata: guards, products, emptiness, lassos."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.ltl import (
+    BuchiAutomaton, Edge, GeneralizedBuchi, Guard, latom, lfinally,
+    lglobally, lnot, ltl_to_buchi, ltl_to_generalized_buchi,
+)
+
+P = frozenset({"p"})
+E = frozenset()
+
+
+def inf_p_automaton():
+    """Deterministic automaton for 'infinitely many p'."""
+    return BuchiAutomaton(
+        states={"n", "y"}, initial={"n"},
+        edges=[
+            Edge("n", Guard(pos=P), "y"), Edge("n", Guard(neg=P), "n"),
+            Edge("y", Guard(pos=P), "y"), Edge("y", Guard(neg=P), "n"),
+        ],
+        accepting={"y"}, aps={"p"},
+    )
+
+
+class TestGuard:
+    def test_satisfaction(self):
+        g = Guard(pos=frozenset({"a"}), neg=frozenset({"b"}))
+        assert g.satisfied(frozenset({"a"}))
+        assert not g.satisfied(frozenset({"a", "b"}))
+        assert not g.satisfied(frozenset())
+
+    def test_satisfaction_cases(self):
+        g = Guard(pos=frozenset({"a"}), neg=frozenset({"b"}))
+        assert g.satisfied(frozenset({"a", "c"}))
+        assert not g.satisfied(frozenset({"c"}))
+
+    def test_true_guard(self):
+        assert Guard().satisfied(frozenset())
+        assert Guard().satisfied(frozenset({"x"}))
+
+    def test_conjoin(self):
+        a = Guard(pos=frozenset({"a"}))
+        b = Guard(neg=frozenset({"b"}))
+        c = a.conjoin(b)
+        assert c is not None
+        assert c.pos == frozenset({"a"}) and c.neg == frozenset({"b"})
+
+    def test_conjoin_contradiction(self):
+        a = Guard(pos=frozenset({"a"}))
+        b = Guard(neg=frozenset({"a"}))
+        assert a.conjoin(b) is None
+
+
+class TestAutomatonBasics:
+    def test_successors(self):
+        a = inf_p_automaton()
+        assert a.successors("n", P) == frozenset({"y"})
+        assert a.successors("n", E) == frozenset({"n"})
+
+    def test_unknown_edge_state_rejected(self):
+        with pytest.raises(FormulaError):
+            BuchiAutomaton({"a"}, {"a"}, [Edge("a", Guard(), "zz")],
+                           set(), set())
+
+    def test_alphabet_size(self):
+        a = inf_p_automaton()
+        assert len(list(a.alphabet())) == 2
+
+
+class TestLassoMembership:
+    def test_accepts_infinitely_many_p(self):
+        a = inf_p_automaton()
+        assert a.accepts_lasso([], [P])
+        assert a.accepts_lasso([E, E], [P, E])
+
+    def test_rejects_finitely_many_p(self):
+        a = inf_p_automaton()
+        assert not a.accepts_lasso([P, P], [E])
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(FormulaError):
+            inf_p_automaton().accepts_lasso([P], [])
+
+    def test_run_dies(self):
+        a = BuchiAutomaton(
+            states={0}, initial={0},
+            edges=[Edge(0, Guard(pos=P), 0)], accepting={0}, aps={"p"},
+        )
+        assert a.accepts_lasso([], [P])
+        assert not a.accepts_lasso([], [E])
+
+
+class TestEmptiness:
+    def test_nonempty_finds_lasso(self):
+        a = inf_p_automaton()
+        lasso = a.find_accepting_lasso()
+        assert lasso is not None
+        prefix, cycle = lasso
+        assert a.accepts_lasso(prefix, cycle)
+
+    def test_empty_language(self):
+        # accepting state unreachable
+        a = BuchiAutomaton(
+            states={0, 1}, initial={0},
+            edges=[Edge(0, Guard(), 0)], accepting={1}, aps={"p"},
+        )
+        assert a.is_empty()
+
+    def test_accepting_but_no_cycle(self):
+        a = BuchiAutomaton(
+            states={0, 1}, initial={0},
+            edges=[Edge(0, Guard(), 1)], accepting={1}, aps={"p"},
+        )
+        assert a.is_empty()
+
+
+class TestIntersection:
+    def test_intersection_of_complementary_is_empty(self):
+        f = lglobally(lfinally(latom("p")))
+        a = ltl_to_buchi(f)
+        b = ltl_to_buchi(lnot(f))
+        assert a.intersection(b).is_empty()
+
+    def test_intersection_nonempty(self):
+        a = ltl_to_buchi(lfinally(latom("p")))
+        b = ltl_to_buchi(lfinally(latom("q")))
+        product = a.intersection(b)
+        lasso = product.find_accepting_lasso()
+        assert lasso is not None
+        prefix, cycle = lasso
+        seen = set()
+        for letter in prefix + cycle:
+            seen |= letter
+        assert {"p", "q"} <= seen
+
+
+class TestDegeneralization:
+    def test_generalized_to_plain(self):
+        gba = ltl_to_generalized_buchi(
+            lglobally(lfinally(latom("p")))
+        )
+        nba = gba.degeneralize()
+        assert nba.accepts_lasso([], [P])
+        assert not nba.accepts_lasso([], [E])
+
+    def test_no_acceptance_sets_means_all_accepting(self):
+        gba = GeneralizedBuchi(
+            states=frozenset({0}),
+            initial=frozenset({0}),
+            edges=(Edge(0, Guard(), 0),),
+            acceptance_sets=(),
+            aps=frozenset({"p"}),
+        )
+        nba = gba.degeneralize()
+        assert nba.accepts_lasso([], [E])

@@ -1,0 +1,106 @@
+"""Tests for Büchi complementation (deterministic and rank-based)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import VerificationError
+from repro.ltl import BuchiAutomaton, Edge, Guard, latom, lnot, ltl_to_buchi
+from repro.ltl.complement import (
+    complement, complement_deterministic, is_deterministic,
+)
+from repro.ltl.formulas import evaluate_on_word, lfinally, lglobally
+
+P = frozenset({"p"})
+E = frozenset()
+
+WORDS = [
+    ([], [P]), ([], [E]), ([P], [E]), ([E], [P]),
+    ([], [P, E]), ([P, P], [E, P]), ([E, P, E], [P]),
+]
+
+
+def det_inf_p():
+    return BuchiAutomaton(
+        states={"n", "y"}, initial={"n"},
+        edges=[
+            Edge("n", Guard(pos=P), "y"), Edge("n", Guard(neg=P), "n"),
+            Edge("y", Guard(pos=P), "y"), Edge("y", Guard(neg=P), "n"),
+        ],
+        accepting={"y"}, aps={"p"},
+    )
+
+
+def nondet_fg_p():
+    """Nondeterministic: finitely many ~p (i.e. FG p)."""
+    return BuchiAutomaton(
+        states={0, 1}, initial={0},
+        edges=[Edge(0, Guard(), 0), Edge(0, Guard(pos=P), 1),
+               Edge(1, Guard(pos=P), 1)],
+        accepting={1}, aps={"p"},
+    )
+
+
+class TestDetection:
+    def test_deterministic_detected(self):
+        assert is_deterministic(det_inf_p())
+
+    def test_nondeterministic_detected(self):
+        assert not is_deterministic(nondet_fg_p())
+
+
+@pytest.mark.parametrize("make", [det_inf_p, nondet_fg_p])
+class TestComplementCorrectness:
+    def test_pointwise_complement(self, make):
+        a = make()
+        c = complement(a)
+        for prefix, cycle in WORDS:
+            assert a.accepts_lasso(prefix, cycle) != c.accepts_lasso(
+                prefix, cycle
+            )
+
+    def test_intersection_empty(self, make):
+        a = make()
+        c = complement(a)
+        assert a.intersection(c).is_empty()
+
+
+class TestGuards:
+    def test_too_many_states_rejected(self):
+        states = set(range(10))
+        a = BuchiAutomaton(
+            states, {0},
+            [Edge(i, Guard(), (i + 1) % 10) for i in range(10)]
+            + [Edge(0, Guard(), 0)],  # nondeterministic at 0
+            {0}, {"p"},
+        )
+        with pytest.raises(VerificationError):
+            complement(a)
+
+    def test_too_many_aps_rejected(self):
+        aps = {f"a{i}" for i in range(11)}
+        a = BuchiAutomaton({0}, {0}, [Edge(0, Guard(), 0)], {0}, aps)
+        with pytest.raises(VerificationError):
+            complement(a)
+
+
+class TestAgainstLTL:
+    def test_complement_of_gf_equals_fg_not(self):
+        a = det_inf_p()                       # GF p
+        c = complement(a)
+        fg_not_p = ltl_to_buchi(lfinally(lglobally(lnot(latom("p")))))
+        for prefix, cycle in WORDS:
+            assert c.accepts_lasso(prefix, cycle) == fg_not_p.accepts_lasso(
+                prefix, cycle
+            )
+
+
+_letters = st.sampled_from([E, P])
+
+
+@given(prefix=st.lists(_letters, max_size=4),
+       cycle=st.lists(_letters, min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_complement_partitions_all_words(prefix, cycle):
+    a = nondet_fg_p()
+    c = complement(a)
+    assert a.accepts_lasso(prefix, cycle) != c.accepts_lasso(prefix, cycle)

@@ -1,0 +1,149 @@
+"""Tests for propositional LTL formulas, NNF, and lasso-word semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ltl import (
+    LAnd, LAtom, LNot, LOr, LRelease, LUntil, atom_payloads,
+    evaluate_on_word, land, latom, lbefore, lfinally, lglobally, limplies,
+    lnext, lnot, lor, luntil, to_nnf,
+)
+
+P, Q = latom("p"), latom("q")
+EMPTY = frozenset()
+ONLY_P = frozenset({"p"})
+ONLY_Q = frozenset({"q"})
+BOTH = frozenset({"p", "q"})
+
+
+class TestConstructors:
+    def test_lnot_collapses(self):
+        assert lnot(lnot(P)) == P
+
+    def test_land_units(self):
+        from repro.ltl import LTRUE, LFALSE
+        assert land(P) == P
+        assert land(LTRUE, P) == P
+        assert land(LFALSE, P) == LFALSE
+        assert land() == LTRUE
+
+    def test_lor_units(self):
+        from repro.ltl import LTRUE, LFALSE
+        assert lor(LFALSE, P) == P
+        assert lor(LTRUE, P) == LTRUE
+
+    def test_atom_payloads(self):
+        f = land(P, luntil(Q, lnext(P)))
+        assert atom_payloads(f) == frozenset({"p", "q"})
+
+
+class TestNNF:
+    def test_not_until_becomes_release(self):
+        f = to_nnf(lnot(LUntil(P, Q)))
+        assert isinstance(f, LRelease)
+
+    def test_not_release_becomes_until(self):
+        f = to_nnf(lnot(LRelease(P, Q)))
+        assert isinstance(f, LUntil)
+
+    def test_de_morgan(self):
+        f = to_nnf(lnot(LAnd(P, Q)))
+        assert isinstance(f, LOr)
+        assert all(isinstance(c, LNot) for c in (f.left, f.right))
+
+    def test_negations_only_on_atoms(self):
+        f = to_nnf(lnot(luntil(land(P, Q), lor(P, lnext(Q)))))
+        for node in _walk(f):
+            if isinstance(node, LNot):
+                assert isinstance(node.body, LAtom)
+
+
+def _walk(f):
+    from repro.ltl import lchildren
+    stack = [f]
+    while stack:
+        n = stack.pop()
+        yield n
+        stack.extend(lchildren(n))
+
+
+class TestWordSemantics:
+    def test_atom_at_position_zero(self):
+        assert evaluate_on_word(P, [ONLY_P], [EMPTY])
+        assert not evaluate_on_word(P, [EMPTY], [ONLY_P])
+
+    def test_next(self):
+        assert evaluate_on_word(lnext(P), [EMPTY, ONLY_P], [EMPTY])
+
+    def test_next_wraps_into_cycle(self):
+        assert evaluate_on_word(lnext(P), [EMPTY], [ONLY_P])
+
+    def test_until(self):
+        w = ([ONLY_P, ONLY_P, ONLY_Q], [EMPTY])
+        assert evaluate_on_word(luntil(P, Q), *w)
+
+    def test_until_requires_left_throughout(self):
+        w = ([ONLY_P, EMPTY, ONLY_Q], [EMPTY])
+        assert not evaluate_on_word(luntil(P, Q), *w)
+
+    def test_finally(self):
+        assert evaluate_on_word(lfinally(Q), [EMPTY, EMPTY], [ONLY_Q])
+        assert not evaluate_on_word(lfinally(Q), [ONLY_P], [EMPTY])
+
+    def test_globally(self):
+        assert evaluate_on_word(lglobally(P), [ONLY_P], [BOTH])
+        assert not evaluate_on_word(lglobally(P), [ONLY_P], [EMPTY])
+
+    def test_globally_cycle_only(self):
+        # prefix violates, so G fails even if cycle satisfies
+        assert not evaluate_on_word(lglobally(P), [EMPTY], [ONLY_P])
+
+    def test_before(self):
+        # "p must hold before q fails": q holds until p arrives
+        good = ([ONLY_Q, BOTH], [EMPTY])
+        assert evaluate_on_word(lbefore(P, Q), *good)
+        bad = ([ONLY_Q, EMPTY], [EMPTY])  # q fails before any p
+        assert not evaluate_on_word(lbefore(P, Q), *bad)
+
+    def test_implication(self):
+        f = lglobally(limplies(P, Q))
+        assert evaluate_on_word(f, [BOTH], [EMPTY])
+        assert not evaluate_on_word(f, [ONLY_P], [EMPTY])
+
+
+# -- property-based: NNF preserves word semantics ---------------------------
+
+_letters = st.sampled_from([EMPTY, ONLY_P, ONLY_Q, BOTH])
+
+
+def _ltl(depth=3):
+    base = st.sampled_from([P, Q])
+    if depth == 0:
+        return base
+    sub = _ltl(depth - 1)
+    return st.one_of(
+        base,
+        sub.map(lnot),
+        sub.map(lnext),
+        st.tuples(sub, sub).map(lambda t: LAnd(*t)),
+        st.tuples(sub, sub).map(lambda t: LOr(*t)),
+        st.tuples(sub, sub).map(lambda t: LUntil(*t)),
+        st.tuples(sub, sub).map(lambda t: LRelease(*t)),
+    )
+
+
+@given(formula=_ltl(), prefix=st.lists(_letters, max_size=4),
+       cycle=st.lists(_letters, min_size=1, max_size=3))
+@settings(max_examples=200, deadline=None)
+def test_nnf_preserves_semantics(formula, prefix, cycle):
+    assert evaluate_on_word(formula, prefix, cycle) == evaluate_on_word(
+        to_nnf(formula), prefix, cycle
+    )
+
+
+@given(formula=_ltl(depth=2), prefix=st.lists(_letters, max_size=3),
+       cycle=st.lists(_letters, min_size=1, max_size=3))
+@settings(max_examples=200, deadline=None)
+def test_negation_flips_semantics(formula, prefix, cycle):
+    direct = evaluate_on_word(formula, prefix, cycle)
+    negated = evaluate_on_word(lnot(formula), prefix, cycle)
+    assert direct != negated

@@ -1,0 +1,153 @@
+"""Tests for LTL-FO sentences: parsing, closure, instantiation,
+relativization."""
+
+import pytest
+
+from repro.errors import FormulaError, ParseError
+from repro.fo import Atom, Var, atom, parse_fo
+from repro.ltl import (
+    LAtom, LNext, LRelease, LUntil, evaluate_on_word, latom, lnot,
+)
+from repro.ltlfo import (
+    LTLFOSentence, lift_fo, map_payloads, parse_ltlfo, relativize, sentence,
+)
+
+
+class TestParsing:
+    def test_closure_variables_collected(self):
+        s = parse_ltlfo("forall x: G( r(x) -> F s(x) )")
+        assert [v.name for v in s.variables] == ["x"]
+
+    def test_auto_closure_of_free_vars(self):
+        s = parse_ltlfo("G( r(x) -> F s(x, y) )")
+        assert {v.name for v in s.variables} == {"x", "y"}
+
+    def test_strict_sentence(self):
+        s = parse_ltlfo("G forall x: r(x) -> s(x)")
+        assert s.is_strict
+        # the whole forall is one FO payload
+        assert len(s.fo_payloads()) == 1
+
+    def test_non_strict_sentence(self):
+        s = parse_ltlfo("forall x: G (r(x) -> F s(x))")
+        assert not s.is_strict
+
+    def test_temporal_under_quantifier_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ltlfo("G exists x: r(x) & F s(x)")
+
+    def test_maximal_fo_payloads(self):
+        s = parse_ltlfo("G( (a(x) & b(x)) -> F c(x) )")
+        payload_strs = {str(p) for p in s.fo_payloads()}
+        assert any("&" in p for p in payload_strs)
+
+    def test_boolean_between_temporal_stays_temporal(self):
+        s = parse_ltlfo("F a(x) & F b(x)")
+        from repro.ltl import LAnd
+        assert isinstance(s.body, LAnd)
+
+    def test_until_and_before_operators(self):
+        s1 = parse_ltlfo("a U b")
+        assert isinstance(s1.body, LUntil)
+        s2 = parse_ltlfo("a B b")
+        # B is sugar: ~(~a U ~b)
+        from repro.ltl import LNot
+        assert isinstance(s2.body, LNot)
+
+
+class TestSentence:
+    def test_missing_closure_var_rejected(self):
+        with pytest.raises(FormulaError):
+            LTLFOSentence((), LAtom(atom("r", Var("x"))))
+
+    def test_instantiate(self):
+        s = parse_ltlfo("G r(x)")
+        closed = s.instantiate({Var("x"): "a"})
+        payloads = [
+            n.ap for n in _lwalk(closed) if isinstance(n, LAtom)
+        ]
+        assert payloads == [parse_fo('r("a")')]
+
+    def test_instantiate_requires_full_valuation(self):
+        s = parse_ltlfo("G r(x)")
+        with pytest.raises(FormulaError):
+            s.instantiate({})
+
+    def test_constants_and_relations(self):
+        s = parse_ltlfo('G( r(x, "k") -> s(x) )')
+        assert s.constants() == frozenset({"k"})
+        assert s.relations() == frozenset({"r", "s"})
+
+    def test_variable_count_includes_payload_bound(self):
+        s = parse_ltlfo("G( (exists y: r(x, y)) -> s(x) )")
+        assert s.variable_count() == 2
+
+
+def _lwalk(f):
+    from repro.ltl import lchildren
+    stack = [f]
+    while stack:
+        n = stack.pop()
+        yield n
+        stack.extend(lchildren(n))
+
+
+class TestMapPayloads:
+    def test_renaming(self):
+        s = parse_ltlfo("G r(x)")
+        renamed = map_payloads(s.body, lambda p: Atom("O.r", p.terms))
+        names = {n.ap.rel for n in _lwalk(renamed) if isinstance(n, LAtom)}
+        assert names == {"O.r"}
+
+
+class TestRelativize:
+    """X_alpha / U_alpha against their defining semantics (Section 5)."""
+
+    A = "alpha"
+    P = "p"
+    Q = "q"
+
+    def _check(self, formula, word_pairs):
+        """word_pairs: list of ((prefix, cycle), expected_bool)."""
+        alpha_f = atom(self.A)
+        rel = relativize(formula, alpha_f)
+        # evaluate with FO payloads as APs keyed by their prop name
+        def to_props(f):
+            return map_payloads(f, lambda p: p.rel)
+        prop = to_props(rel)
+        for (prefix, cycle), expected in word_pairs:
+            actual = evaluate_on_word(prop, prefix, cycle)
+            assert actual == expected, f"{prop} on {prefix}+{cycle}"
+
+    def test_x_alpha_skips_non_alpha_positions(self):
+        # X_alpha p at 0: p must hold at the first alpha-position after 0
+        f = LNext(lift_fo(atom(self.P)))
+        al, p = frozenset({self.A}), frozenset({self.P})
+        both = al | p
+        self._check(f, [
+            (([frozenset(), frozenset(), both], [frozenset()]), True),
+            (([frozenset(), frozenset(), al], [frozenset()]), False),
+            # no future alpha position: vacuously false
+            (([frozenset(), p], [p]), False),
+        ])
+
+    def test_u_alpha_constrains_only_alpha_positions(self):
+        f = LUntil(lift_fo(atom(self.P)), lift_fo(atom(self.Q)))
+        al = frozenset({self.A})
+        alp = al | frozenset({self.P})
+        alq = al | frozenset({self.Q})
+        noise = frozenset()  # non-alpha positions are ignored
+        self._check(f, [
+            (([noise, alp, noise, alq], [noise]), True),
+            # p fails at an intermediate alpha position
+            (([alp, al, alq], [noise]), False),
+            # q never at an alpha position
+            (([alp], [noise]), False),
+        ])
+
+    def test_release_is_rewritten(self):
+        f = LRelease(lift_fo(atom(self.P)), lift_fo(atom(self.Q)))
+        rel = relativize(f, atom(self.A))
+        assert not any(
+            isinstance(n, LRelease) for n in _lwalk(rel)
+        )

@@ -1,0 +1,87 @@
+"""Tests for the frontier gadgets (Theorems 3.8, 3.9, 3.10)."""
+
+import pytest
+
+from repro.errors import InputBoundednessError
+from repro.ib import check_composition, check_peer, check_sentence
+from repro.ltlfo import parse_ltlfo
+from repro.reductions import (
+    deterministic_send_gadget, emptiness_test_gadget,
+    nonground_nested_gadget, nonground_nested_peer,
+)
+from repro.spec import (
+    ChannelSemantics, DECIDABLE_DEFAULT, DETERMINISTIC_LOSSY,
+    FlatSendDiscipline, NestedEmptySend, PERFECT_BOUNDED,
+)
+from repro.verifier import verify
+
+
+class TestDeterministicSend:
+    """Theorem 3.8: the error-flag semantics is observable."""
+
+    def test_nondeterministic_discipline_never_errors(self):
+        comp, dbs, prop = deterministic_send_gadget()
+        r = verify(comp, prop, dbs, semantics=PERFECT_BOUNDED)
+        assert r.satisfied
+
+    def test_deterministic_discipline_raises_flag(self):
+        comp, dbs, prop = deterministic_send_gadget()
+        r = verify(comp, prop, dbs, semantics=DETERMINISTIC_LOSSY)
+        assert not r.satisfied
+
+    def test_flag_consultable_by_property(self):
+        comp, dbs, _prop = deterministic_send_gadget()
+        # once the error flag raises, no message was enqueued that move
+        r = verify(comp, "G( S.error_ship -> R.empty_ship )",
+                   dbs, semantics=ChannelSemantics(
+                       lossy=False, queue_bound=1,
+                       flat_send=FlatSendDiscipline.DETERMINISTIC_ERROR,
+                   ))
+        assert r.satisfied
+
+
+class TestEmptinessTests:
+    """Theorem 3.9: emptiness tests on nested messages leave the fragment."""
+
+    def test_property_rejected_by_checker(self):
+        comp, _dbs, _ib_prop, emptiness_prop = emptiness_test_gadget()
+        sentence = parse_ltlfo(emptiness_prop, comp.schema)
+        assert check_sentence(sentence, comp.schema)
+
+    def test_verify_raises_without_override(self):
+        comp, dbs, _ib_prop, emptiness_prop = emptiness_test_gadget()
+        with pytest.raises(InputBoundednessError):
+            verify(comp, emptiness_prop, dbs)
+
+    def test_in_fragment_property_accepted(self):
+        comp, dbs, ib_prop, _ = emptiness_test_gadget()
+        r = verify(comp, ib_prop, dbs)
+        assert r.satisfied
+
+    def test_empty_messages_distinguishable_with_override(self):
+        comp, dbs, _ib, emptiness_prop = emptiness_test_gadget()
+        faithful = ChannelSemantics(
+            lossy=True, queue_bound=1,
+            nested_empty_send=NestedEmptySend.ENQUEUE,
+        )
+        # empty findings + faithful semantics: empty reports are heard,
+        # violating "every heard report is non-empty"
+        r = verify(comp, emptiness_prop, dbs, semantics=faithful,
+                   check_input_bounded=False)
+        assert not r.satisfied
+        # under the skip semantics no message ever arrives: satisfied
+        r2 = verify(comp, emptiness_prop, dbs,
+                    semantics=DECIDABLE_DEFAULT,
+                    check_input_bounded=False)
+        assert r2.satisfied
+
+
+class TestNonGroundNested:
+    """Theorem 3.10: non-ground nested atoms in input rules."""
+
+    def test_peer_rejected_by_checker(self):
+        violations = check_peer(nonground_nested_peer())
+        assert any("ground" in v.reason for v in violations)
+
+    def test_composition_flagged(self):
+        assert check_composition(nonground_nested_gadget())

@@ -1,0 +1,84 @@
+"""Tests for the executable halting reduction (Theorem 3.7 family).
+
+The demonstrated direction: a machine halts within the space the domain
+affords iff the verifier finds a (validated) halting run as a property
+violation.
+"""
+
+import pytest
+
+from repro.ib import check_composition
+from repro.reductions import (
+    count_up_down, diverging_machine, halting_search_property,
+    machine_composition, machine_databases, run_machine, transfer_machine,
+)
+from repro.spec import DETERMINISTIC_LOSSY, PERFECT_BOUNDED
+from repro.verifier import verification_domain, verify
+
+
+def check_machine(machine, fresh, semantics=PERFECT_BOUNDED):
+    comp = machine_composition(machine)
+    prop = halting_search_property(machine)
+    dom = verification_domain(comp, [prop], machine_databases(),
+                              fresh_count=fresh)
+    return verify(comp, prop, machine_databases(), semantics=semantics,
+                  domain=dom, check_input_bounded=False)
+
+
+class TestGadgetStructure:
+    def test_composition_is_input_bounded(self):
+        comp = machine_composition(count_up_down(1))
+        assert check_composition(comp) == []
+
+    def test_two_peers_two_channels(self):
+        comp = machine_composition(count_up_down(1))
+        assert {p.name for p in comp.peers} == {"Driver", "Clock"}
+        assert {c.name for c in comp.channels} == {"tick", "tock"}
+        assert comp.is_closed
+
+
+class TestHaltingDirection:
+    def test_halting_machine_yields_violation(self):
+        run = run_machine(count_up_down(1))
+        assert run.halted
+        r = check_machine(count_up_down(1), fresh=run.peak_space + 1)
+        assert not r.satisfied  # violation == halting witness
+
+    def test_witness_simulates_the_machine(self):
+        machine = count_up_down(1)
+        r = check_machine(machine, fresh=2)
+        lasso = r.counterexample.lasso
+        halted_states = [
+            s for s in lasso.states() if s.data["Driver.halted"]
+        ]
+        assert halted_states
+
+    def test_transfer_machine(self):
+        run = run_machine(transfer_machine(1))
+        r = check_machine(transfer_machine(1), fresh=run.peak_space + 1)
+        assert not r.satisfied
+
+    def test_deterministic_send_semantics_also_finds_witness(self):
+        # Theorem 3.8's semantics: same gadget, deterministic lossy queues
+        r = check_machine(count_up_down(1), fresh=2,
+                          semantics=DETERMINISTIC_LOSSY)
+        assert not r.satisfied
+
+
+class TestNonHaltingDirection:
+    def test_diverging_machine_no_witness_in_bounded_domain(self):
+        r = check_machine(diverging_machine(), fresh=2)
+        assert r.satisfied  # exhaustive search, no halting run
+
+    def test_insufficient_space_finds_no_witness(self):
+        # count_up_down(3) needs 3 chain values; with only 1 usable fresh
+        # value (plus constants barred by validation) the simulation
+        # cannot reach halt
+        machine = count_up_down(3)
+        comp = machine_composition(machine)
+        prop = halting_search_property(machine)
+        from repro.verifier.domain import VerificationDomain
+        dom = verification_domain(comp, [prop], {}, fresh_count=1)
+        r = verify(comp, prop, {}, semantics=PERFECT_BOUNDED, domain=dom,
+                   check_input_bounded=False)
+        assert r.satisfied

@@ -1,0 +1,64 @@
+"""Tests for two-counter machines."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.reductions import (
+    CounterMachine, HALT, Inc, Test, count_up_down, diverging_machine,
+    ping_pong_machine, run_machine, transfer_machine,
+)
+
+
+class TestValidation:
+    def test_counter_range(self):
+        with pytest.raises(SpecificationError):
+            Inc(3, "q")
+
+    def test_undefined_jump_target(self):
+        with pytest.raises(SpecificationError):
+            CounterMachine({"a": Inc(1, "nowhere")}, "a")
+
+    def test_halt_may_be_target(self):
+        CounterMachine({"a": Inc(1, HALT)}, "a")
+
+    def test_halt_cannot_have_instruction(self):
+        with pytest.raises(SpecificationError):
+            CounterMachine({HALT: Inc(1, HALT)}, HALT)
+
+    def test_initial_must_exist(self):
+        with pytest.raises(SpecificationError):
+            CounterMachine({"a": Inc(1, HALT)}, "b")
+
+
+class TestInterpreter:
+    def test_count_up_down_halts(self):
+        r = run_machine(count_up_down(3))
+        assert r.halted
+        assert r.max_c1 == 3
+        assert r.final_c1 == 0
+        assert r.steps == 7  # 3 incs + 3 decs + final zero test
+
+    def test_transfer_moves_counter(self):
+        r = run_machine(transfer_machine(2))
+        assert r.halted
+        assert r.max_c1 == 2 and r.max_c2 == 2
+        assert r.final_c1 == 0 and r.final_c2 == 0
+
+    def test_diverging_hits_budget(self):
+        r = run_machine(diverging_machine(), budget=50)
+        assert not r.halted
+        assert r.steps == 50
+        assert r.max_c1 == 50
+
+    def test_ping_pong_bounded_space(self):
+        r = run_machine(ping_pong_machine(), budget=500)
+        assert not r.halted
+        assert r.peak_space <= 2
+
+    def test_peak_space(self):
+        r = run_machine(transfer_machine(3))
+        assert r.peak_space == r.max_c1 + r.max_c2
+
+    def test_states_listing(self):
+        m = count_up_down(1)
+        assert HALT in m.states()

@@ -1,0 +1,54 @@
+"""Tests for PCP instances and the bounded solver."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.reductions import (
+    PCPInstance, SOLVABLE, UNSOLVABLE, enumerate_solutions, solve_bounded,
+)
+
+
+class TestInstance:
+    def test_alphabet(self):
+        assert SOLVABLE.alphabet() == frozenset({"a", "b"})
+
+    def test_apply(self):
+        top, bottom = SOLVABLE.apply([0, 1])
+        assert top == "aab"
+        assert bottom == "baaaa"
+
+    def test_empty_pair_rejected(self):
+        with pytest.raises(SpecificationError):
+            PCPInstance((("", ""),))
+
+    def test_no_pairs_rejected(self):
+        with pytest.raises(SpecificationError):
+            PCPInstance(())
+
+    def test_empty_sequence_is_not_a_solution(self):
+        assert not SOLVABLE.is_solution([])
+
+
+class TestSolver:
+    def test_solvable_instance_solved(self):
+        solution = solve_bounded(SOLVABLE, max_length=8)
+        assert solution is not None
+        assert SOLVABLE.is_solution(solution)
+
+    def test_unsolvable_instance(self):
+        assert solve_bounded(UNSOLVABLE, max_length=10) is None
+
+    def test_enumerate_finds_only_solutions(self):
+        for sol in enumerate_solutions(SOLVABLE, max_length=6):
+            assert SOLVABLE.is_solution(sol)
+
+    def test_trivial_instance(self):
+        inst = PCPInstance((("ab", "ab"),))
+        assert solve_bounded(inst) == (0,)
+
+    def test_prefix_pruning_correct(self):
+        # an instance needing two tiles
+        inst = PCPInstance((("a", "ab"), ("b", "")))
+        sol = solve_bounded(inst, max_length=4)
+        assert sol is not None
+        assert inst.is_solution(sol)

@@ -1,0 +1,105 @@
+"""Tests for environment transitions of open compositions (Section 5)."""
+
+from repro.runtime import environment_successors, initial_states
+from repro.spec import DECIDABLE_DEFAULT, PERFECT_BOUNDED
+
+DOMAIN = ("a", "b")
+
+
+def init(open_relay, open_relay_db):
+    states = initial_states(open_relay, open_relay_db, DOMAIN)
+    return states[0]
+
+
+class TestEnvironmentMoves:
+    def test_closed_composition_has_no_env_moves(self, sender_receiver,
+                                                 sender_receiver_db):
+        st = initial_states(sender_receiver, sender_receiver_db, DOMAIN)[0]
+        assert environment_successors(sender_receiver, st, DOMAIN,
+                                      DECIDABLE_DEFAULT) == []
+
+    def test_env_can_send_any_domain_tuple(self, open_relay, open_relay_db):
+        st = init(open_relay, open_relay_db)
+        succ = environment_successors(open_relay, st, DOMAIN,
+                                      PERFECT_BOUNDED)
+        messages = {
+            s.queue("inbound") for s in succ if s.queue("inbound")
+        }
+        assert messages == {
+            (frozenset({("a",)}),), (frozenset({("b",)}),),
+        }
+
+    def test_env_noop_included(self, open_relay, open_relay_db):
+        st = init(open_relay, open_relay_db)
+        succ = environment_successors(open_relay, st, DOMAIN,
+                                      PERFECT_BOUNDED)
+        assert any(
+            not s.queue("inbound") and not s.enqueued for s in succ
+        )
+
+    def test_env_mover_is_flagged(self, open_relay, open_relay_db):
+        st = init(open_relay, open_relay_db)
+        succ = environment_successors(open_relay, st, DOMAIN,
+                                      PERFECT_BOUNDED)
+        assert all(s.mover == "ENV" for s in succ)
+
+    def test_env_dequeues_consumed_channels(self, open_relay,
+                                            open_relay_db):
+        st = init(open_relay, open_relay_db)
+        loaded = st.with_queues({
+            "inbound": (), "outbound": (frozenset({("a",)}),),
+        })
+        succ = environment_successors(open_relay, loaded, DOMAIN,
+                                      PERFECT_BOUNDED)
+        assert any(not s.queue("outbound") for s in succ)
+        assert any(s.queue("outbound") for s in succ)  # may also wait
+
+    def test_env_does_not_send_into_full_queue(self, open_relay,
+                                               open_relay_db):
+        st = init(open_relay, open_relay_db)
+        full = st.with_queues({
+            "inbound": (frozenset({("a",)}),), "outbound": (),
+        })
+        succ = environment_successors(open_relay, full, DOMAIN,
+                                      PERFECT_BOUNDED)  # bound 1
+        assert all(len(s.queue("inbound")) == 1 for s in succ)
+        assert all(not s.sent for s in succ)
+
+    def test_one_action_mode_is_subset(self, open_relay, open_relay_db):
+        st = init(open_relay, open_relay_db)
+        full = environment_successors(open_relay, st, DOMAIN,
+                                      PERFECT_BOUNDED)
+        single = environment_successors(open_relay, st, DOMAIN,
+                                        PERFECT_BOUNDED,
+                                        one_action_per_move=True)
+        assert set(single) <= set(full)
+
+    def test_value_domain_restricts_messages(self, open_relay,
+                                             open_relay_db):
+        st = init(open_relay, open_relay_db)
+        succ = environment_successors(open_relay, st, DOMAIN,
+                                      PERFECT_BOUNDED,
+                                      value_domain=("a",))
+        messages = {
+            s.queue("inbound") for s in succ if s.queue("inbound")
+        }
+        assert messages == {(frozenset({("a",)}),)}
+
+    def test_nested_env_messages_bounded_rows(self):
+        from repro.fo import Instance
+        from repro.spec import Composition, PeerBuilder
+        consumer = (
+            PeerBuilder("C")
+            .state("seen", 1)
+            .nested_in_queue("feed", 1)
+            .insert_rule("seen", ["x"], "?feed(x)")
+            .build()
+        )
+        comp = Composition([consumer])
+        st = initial_states(comp, {}, DOMAIN)[0]
+        succ = environment_successors(comp, st, DOMAIN, PERFECT_BOUNDED,
+                                      max_nested_rows=1)
+        sizes = {
+            len(s.queue("feed")[0]) for s in succ if s.queue("feed")
+        }
+        assert sizes == {0, 1}  # empty nested message and singletons

@@ -1,0 +1,98 @@
+"""Property-based invariants of the operational semantics.
+
+Random simulations across seeds and semantics configurations must respect
+the structural invariants of Definitions 2.3-2.6: queue bounds, event
+consistency, database immutability, input legality.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fo import Instance
+from repro.runtime import simulate, snapshot_view
+from repro.spec import ChannelSemantics, FlatSendDiscipline
+
+DB = {"S": Instance({"items": [("a",), ("b",)]})}
+DOMAIN = ("a", "b")
+
+_semantics = st.builds(
+    ChannelSemantics,
+    lossy=st.booleans(),
+    queue_bound=st.integers(min_value=1, max_value=3),
+    flat_send=st.sampled_from(list(FlatSendDiscipline)),
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       semantics=_semantics)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_simulation_invariants(sender_receiver, sender_receiver_db,
+                               seed, semantics):
+    trace = simulate(sender_receiver, sender_receiver_db, DOMAIN,
+                     steps=12, seed=seed, semantics=semantics)
+    initial_db = trace[0].data["S.items"]
+    for state in trace:
+        # queue bound respected
+        for _name, contents in state.queues:
+            assert len(contents) <= semantics.queue_bound
+        # enqueued channels were also sent into
+        assert state.enqueued <= state.sent
+        # the database never changes (Definition 2.4)
+        assert state.data["S.items"] == initial_db
+        # input holds at most one tuple (Definition 2.3)
+        assert len(state.data["S.pick"]) <= 1
+        # the empty_Q view matches the queue
+        view = snapshot_view(state, sender_receiver)
+        assert view.truth("R.empty_msg") == (not state.queue("msg"))
+        # mover is a declared peer (or None initially)
+        assert state.mover in (None, "S", "R")
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_perfect_channels_never_lose_between_send_and_enqueue(
+        sender_receiver, sender_receiver_db, seed):
+    semantics = ChannelSemantics(lossy=False, queue_bound=2)
+    trace = simulate(sender_receiver, sender_receiver_db, DOMAIN,
+                     steps=12, seed=seed, semantics=semantics)
+    for prev, cur in zip(trace, trace[1:]):
+        for channel in cur.sent:
+            if channel not in cur.enqueued:
+                # the only legal reason: the queue was already full
+                assert len(prev.queue(channel)) >= semantics.queue_bound
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_messages_preserve_fifo_order(nested_pair, nested_pair_db, seed):
+    semantics = ChannelSemantics(lossy=False, queue_bound=3)
+    trace = simulate(nested_pair, nested_pair_db, DOMAIN,
+                     steps=12, seed=seed, semantics=semantics)
+    for prev, cur in zip(trace, trace[1:]):
+        for name, contents in cur.queues:
+            prev_contents = prev.queue(name)
+            if len(contents) >= len(prev_contents) and prev_contents:
+                # no reordering: the old tail is a prefix-after-dequeue
+                # of the new contents
+                assert contents[:len(prev_contents)] == prev_contents \
+                    or contents[:len(prev_contents) - 1] == \
+                    prev_contents[1:]
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_prev_input_only_moves_forward(sender_receiver, sender_receiver_db,
+                                       seed):
+    trace = simulate(sender_receiver, sender_receiver_db, DOMAIN,
+                     steps=12, seed=seed)
+    last_nonempty = None
+    for prev, cur in zip(trace, trace[1:]):
+        if cur.mover == "S":
+            if prev.data["S.pick"]:
+                last_nonempty = prev.data["S.pick"]
+            if last_nonempty is not None:
+                assert cur.data["S.prev_pick"] == last_nonempty

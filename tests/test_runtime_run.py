@@ -1,0 +1,98 @@
+"""Tests for runs, lassos, simulation, and reachability."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime import Lasso, reachable_states, simulate
+from repro.runtime.state import GlobalState
+from repro.fo import Instance
+from repro.spec import DECIDABLE_DEFAULT, PERFECT_BOUNDED
+
+DOMAIN = ("a",)
+
+
+def state(tag):
+    return GlobalState(
+        data=Instance({"t": [(tag,)]}), queues=(), mover=None,
+    )
+
+
+class TestLasso:
+    def test_snapshot_indexing(self):
+        lasso = Lasso((state("p0"), state("p1")), (state("c0"), state("c1")))
+        assert lasso.snapshot(0) == state("p0")
+        assert lasso.snapshot(1) == state("p1")
+        assert lasso.snapshot(2) == state("c0")
+        assert lasso.snapshot(3) == state("c1")
+        assert lasso.snapshot(4) == state("c0")  # wraps
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(SimulationError):
+            Lasso((), ())
+
+    def test_active_domain(self):
+        lasso = Lasso((state("p"),), (state("c"),))
+        assert lasso.active_domain() == frozenset({"p", "c"})
+
+    def test_len(self):
+        lasso = Lasso((state("p"),), (state("c"),))
+        assert len(lasso) == 2
+
+
+class TestSimulate:
+    def test_length(self, sender_receiver, sender_receiver_db):
+        trace = simulate(sender_receiver, sender_receiver_db, DOMAIN,
+                         steps=5, seed=1)
+        assert len(trace) == 6
+
+    def test_deterministic_with_seed(self, sender_receiver,
+                                     sender_receiver_db):
+        t1 = simulate(sender_receiver, sender_receiver_db, DOMAIN,
+                      steps=10, seed=7)
+        t2 = simulate(sender_receiver, sender_receiver_db, DOMAIN,
+                      steps=10, seed=7)
+        assert t1 == t2
+
+    def test_movers_alternate_among_peers(self, sender_receiver,
+                                          sender_receiver_db):
+        trace = simulate(sender_receiver, sender_receiver_db, DOMAIN,
+                         steps=30, seed=3)
+        movers = {s.mover for s in trace[1:]}
+        assert movers <= {"S", "R"}
+
+    def test_steering_callback(self, sender_receiver, sender_receiver_db):
+        def prefer_sender(options):
+            for o in options:
+                if o.mover in (None, "S"):
+                    return o
+            return options[0]
+
+        trace = simulate(sender_receiver, sender_receiver_db, DOMAIN,
+                         steps=4, choose=prefer_sender)
+        assert all(s.mover in (None, "S") for s in trace)
+
+
+class TestReachability:
+    def test_reachable_states_closed(self, sender_receiver,
+                                     sender_receiver_db):
+        states = reachable_states(sender_receiver, sender_receiver_db,
+                                  DOMAIN, semantics=PERFECT_BOUNDED)
+        # finite and contains a state where R stored the value
+        assert any(
+            s.data["R.got"] == frozenset({("a",)}) for s in states
+        )
+
+    def test_limit_enforced(self, sender_receiver, sender_receiver_db):
+        with pytest.raises(SimulationError):
+            reachable_states(sender_receiver, sender_receiver_db, DOMAIN,
+                             limit=2)
+
+    def test_lossy_superset_of_nothing(self, sender_receiver,
+                                       sender_receiver_db):
+        lossy = reachable_states(sender_receiver, sender_receiver_db,
+                                 DOMAIN, semantics=DECIDABLE_DEFAULT)
+        perfect = reachable_states(sender_receiver, sender_receiver_db,
+                                   DOMAIN, semantics=PERFECT_BOUNDED)
+        # every perfect-channel state is also lossy-reachable (losing
+        # nothing is one of the lossy branches)
+        assert perfect <= lossy

@@ -1,0 +1,106 @@
+"""Tests for global states and snapshot views."""
+
+from repro.fo import Instance
+from repro.runtime import (
+    GlobalState, empty_queues, first_message, freeze_queues, last_message,
+    snapshot_view,
+)
+
+
+def make_state(sender_receiver, **kw):
+    defaults = dict(
+        data=Instance({"S.items": [("a",)]}),
+        queues=empty_queues(sender_receiver),
+    )
+    defaults.update(kw)
+    return GlobalState(**defaults)
+
+
+class TestGlobalState:
+    def test_hashable_and_equal(self, sender_receiver):
+        a = make_state(sender_receiver)
+        b = make_state(sender_receiver)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_queue_lookup(self, sender_receiver):
+        st = make_state(sender_receiver)
+        assert st.queue("msg") == ()
+
+    def test_with_queues(self, sender_receiver):
+        st = make_state(sender_receiver)
+        st2 = st.with_queues({"msg": (frozenset({("a",)}),)})
+        assert st2.queue("msg")
+        assert st.queue("msg") == ()  # original untouched
+
+    def test_active_domain_includes_queues(self, sender_receiver):
+        st = make_state(sender_receiver).with_queues(
+            {"msg": (frozenset({("zz",)}),)}
+        )
+        assert "zz" in st.active_domain()
+        assert "a" in st.active_domain()
+
+    def test_total_queued_messages(self, sender_receiver):
+        st = make_state(sender_receiver).with_queues(
+            {"msg": (frozenset({("a",)}), frozenset({("b",)}))}
+        )
+        assert st.total_queued_messages() == 2
+
+
+class TestMessageViews:
+    def test_first_and_last(self):
+        q = (frozenset({("x",)}), frozenset({("y",)}))
+        assert first_message(q) == frozenset({("x",)})
+        assert last_message(q) == frozenset({("y",)})
+        assert first_message(()) == frozenset()
+        assert last_message(()) == frozenset()
+
+
+class TestSnapshotView:
+    def test_queue_readings(self, sender_receiver):
+        st = make_state(sender_receiver).with_queues(
+            {"msg": (frozenset({("a",)}), frozenset({("b",)}))}
+        )
+        view = snapshot_view(st, sender_receiver)
+        # receiver reads the first message, sender view is the last
+        assert view["R.msg"] == frozenset({("a",)})
+        assert view["S.msg"] == frozenset({("b",)})
+
+    def test_empty_flag(self, sender_receiver):
+        st = make_state(sender_receiver)
+        view = snapshot_view(st, sender_receiver)
+        assert view.truth("R.empty_msg")
+        st2 = st.with_queues({"msg": (frozenset({("a",)}),)})
+        assert not snapshot_view(st2, sender_receiver).truth("R.empty_msg")
+
+    def test_received_flag(self, sender_receiver):
+        st = GlobalState(
+            data=Instance(),
+            queues=freeze_queues({"msg": (frozenset({("a",)}),)}),
+            mover="S",
+            enqueued=frozenset({"msg"}),
+        )
+        view = snapshot_view(st, sender_receiver)
+        assert view.truth("R.received_msg")
+
+    def test_move_flags(self, sender_receiver):
+        st = make_state(sender_receiver, mover="S")
+        view = snapshot_view(st, sender_receiver)
+        assert view.truth("move_S")
+        assert not view.truth("move_R")
+
+    def test_env_views_on_open_composition(self, open_relay):
+        st = GlobalState(
+            data=Instance(),
+            queues=freeze_queues({
+                "outbound": (frozenset({("a",)}),),
+                "inbound": (frozenset({("b",)}),),
+            }),
+            mover="ENV",
+        )
+        view = snapshot_view(st, open_relay)
+        # env consumes outbound (first) and feeds inbound (last)
+        assert view["ENV.outbound"] == frozenset({("a",)})
+        assert view["ENV.inbound"] == frozenset({("b",)})
+        assert view.truth("move_ENV")

@@ -1,0 +1,224 @@
+"""Tests for peers, rules, and compositions (Section 2)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.fo import RelationKind, Var, atom, parse_fo
+from repro.spec import (
+    Composition, Peer, PeerBuilder, Rule, RuleKind, rename_formula_relations,
+)
+
+
+def minimal_peer(name="P", **extra):
+    return (
+        PeerBuilder(name)
+        .database("d", 1)
+        .build()
+    )
+
+
+class TestRule:
+    def test_head_must_be_distinct(self):
+        with pytest.raises(SpecificationError):
+            Rule(RuleKind.ACTION, "a", (Var("x"), Var("x")),
+                 atom("d", Var("x")))
+
+    def test_body_free_vars_must_be_in_head(self):
+        with pytest.raises(SpecificationError):
+            Rule(RuleKind.ACTION, "a", (Var("x"),),
+                 atom("d", Var("x"), Var("y")))
+
+    def test_rename_relations(self):
+        rule = Rule(RuleKind.INSERT, "s", (Var("x"),), atom("d", Var("x")))
+        renamed = rule.rename_relations({"s": "P.s", "d": "P.d"})
+        assert renamed.target == "P.s"
+        assert str(renamed.body) == "P.d(x)"
+
+    def test_rename_formula_relations_helper(self):
+        f = parse_fo("r(x) & s(x, y)")
+        g = rename_formula_relations(f, {"r": "A.r"})
+        assert "A.r" in str(g) and "s(x, y)" in str(g)
+
+
+class TestPeerBuilder:
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SpecificationError):
+            PeerBuilder("P").database("d", 1).state("d", 1)
+
+    def test_rule_for_unknown_relation(self):
+        with pytest.raises(SpecificationError):
+            PeerBuilder("P").insert_rule("nosuch", ["x"], "true").build()
+
+    def test_rule_kind_mismatch(self):
+        with pytest.raises(SpecificationError):
+            (PeerBuilder("P").database("d", 1)
+             .insert_rule("d", ["x"], "true").build())
+
+    def test_head_arity_mismatch(self):
+        with pytest.raises(SpecificationError):
+            (PeerBuilder("P").state("s", 2)
+             .insert_rule("s", ["x"], "true").build())
+
+    def test_duplicate_rule_rejected(self):
+        with pytest.raises(SpecificationError):
+            (PeerBuilder("P").state("s", 1)
+             .insert_rule("s", ["x"], "true")
+             .insert_rule("s", ["x"], "false").build())
+
+    def test_input_without_rule_rejected(self):
+        with pytest.raises(SpecificationError):
+            PeerBuilder("P").input("i", 1).build()
+
+    def test_propositional_input_without_rule_allowed(self):
+        peer = PeerBuilder("P").input("go", 0).build()
+        assert peer.inputs[0].arity == 0
+
+    def test_vocabulary_input_rule_cannot_use_current_input(self):
+        with pytest.raises(SpecificationError):
+            (PeerBuilder("P")
+             .input("i", 1).input("j", 1)
+             .input_rule("i", ["x"], "j(x)")
+             .input_rule("j", ["x"], "true")
+             .build())
+
+    def test_vocabulary_rules_cannot_use_actions(self):
+        with pytest.raises(SpecificationError):
+            (PeerBuilder("P")
+             .action("a", 1).state("s", 1)
+             .insert_rule("s", ["x"], "a(x)")
+             .build())
+
+    def test_vocabulary_rules_cannot_read_out_queues(self):
+        with pytest.raises(SpecificationError):
+            (PeerBuilder("P")
+             .flat_out_queue("q", 1).state("s", 1)
+             .insert_rule("s", ["x"], "q(x)")
+             .build())
+
+    def test_prev_input_available(self):
+        peer = (
+            PeerBuilder("P")
+            .input("i", 1).state("s", 1)
+            .input_rule("i", ["x"], "true")
+            .insert_rule("s", ["x"], "prev_i(x)")
+            .build()
+        )
+        assert peer.rule_for(RuleKind.INSERT, "s") is not None
+
+    def test_queue_state_available(self):
+        peer = (
+            PeerBuilder("P")
+            .flat_in_queue("q", 1).state("s", 0)
+            .insert_rule("s", [], "~empty_q")
+            .build()
+        )
+        assert "empty_q" in peer.local_schema
+
+    def test_error_flag_available_for_flat_out(self):
+        peer = (
+            PeerBuilder("P")
+            .flat_out_queue("q", 1).state("s", 0)
+            .insert_rule("s", [], "error_q")
+            .build()
+        )
+        assert "error_q" in peer.local_schema
+
+
+class TestPeerQueries:
+    def test_consumed_in_queues(self):
+        peer = (
+            PeerBuilder("P")
+            .flat_in_queue("used", 1)
+            .flat_in_queue("ignored", 1)
+            .state("s", 1)
+            .insert_rule("s", ["x"], "?used(x)")
+            .build()
+        )
+        assert peer.consumed_in_queues() == frozenset({"used"})
+
+    def test_constants(self):
+        peer = (
+            PeerBuilder("P")
+            .state("s", 1)
+            .insert_rule("s", ["x"], 'x = "k"')
+            .build()
+        )
+        assert peer.constants() == frozenset({"k"})
+
+    def test_max_rule_variables(self):
+        peer = (
+            PeerBuilder("P")
+            .database("d", 3).state("s", 1)
+            .insert_rule("s", ["x"], "exists y, z: d(x, y, z)")
+            .build()
+        )
+        assert peer.max_rule_variables() == 3
+
+
+class TestComposition:
+    def test_channel_wiring(self, sender_receiver):
+        chan = sender_receiver.channel("msg")
+        assert chan.sender == "S" and chan.receiver == "R"
+        assert sender_receiver.is_closed
+
+    def test_open_composition(self, open_relay):
+        assert not open_relay.is_closed
+        names = {c.name for c in open_relay.environment_channels()}
+        assert names == {"outbound", "inbound"}
+        assert open_relay.env_in_channels()[0].name == "outbound"
+        assert open_relay.env_out_channels()[0].name == "inbound"
+
+    def test_duplicate_peer_names(self):
+        with pytest.raises(SpecificationError):
+            Composition([minimal_peer("P"), minimal_peer("P")])
+
+    def test_two_senders_on_one_queue_rejected(self):
+        a = PeerBuilder("A").flat_out_queue("q", 1).build()
+        b = PeerBuilder("B").flat_out_queue("q", 1).build()
+        with pytest.raises(SpecificationError):
+            Composition([a, b])
+
+    def test_two_receivers_on_one_queue_rejected(self):
+        a = PeerBuilder("A").flat_in_queue("q", 1).build()
+        b = PeerBuilder("B").flat_in_queue("q", 1).build()
+        with pytest.raises(SpecificationError):
+            Composition([a, b])
+
+    def test_arity_mismatch_between_endpoints(self):
+        a = PeerBuilder("A").flat_out_queue("q", 1).build()
+        b = PeerBuilder("B").flat_in_queue("q", 2).build()
+        with pytest.raises(SpecificationError):
+            Composition([a, b])
+
+    def test_nested_flat_mismatch(self):
+        a = PeerBuilder("A").nested_out_queue("q", 1).build()
+        b = PeerBuilder("B").flat_in_queue("q", 1).build()
+        with pytest.raises(SpecificationError):
+            Composition([a, b])
+
+    def test_self_channel_impossible(self):
+        # a peer cannot even declare the same queue name twice, so
+        # self-channels are rejected at construction time
+        with pytest.raises(SpecificationError):
+            (PeerBuilder("P")
+             .flat_out_queue("loop", 1)
+             .flat_in_queue("loop", 1))
+
+    def test_schema_contains_qualified_and_derived(self, sender_receiver):
+        names = sender_receiver.schema.names()
+        assert "S.items" in names
+        assert "S.pick" in names and "S.prev_pick" in names
+        assert "R.empty_msg" in names and "R.received_msg" in names
+        assert "S.error_msg" in names
+        assert "move_S" in names and "move_R" in names
+
+    def test_open_schema_has_env_symbols(self, open_relay):
+        names = open_relay.schema.names()
+        assert "ENV.outbound" in names
+        assert "ENV.inbound" in names
+        assert "move_ENV" in names
+
+    def test_qualified_rules(self, sender_receiver):
+        rules = sender_receiver.qualified_rules("R")
+        assert rules[0].target == "R.got"
+        assert "R.msg" in str(rules[0].body)

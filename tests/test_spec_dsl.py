@@ -1,0 +1,184 @@
+"""Tests for the textual specification language (.dws files)."""
+
+import pytest
+
+from repro.errors import ParseError, SpecificationError
+from repro.spec import load, load_composition, load_databases
+from repro.verifier import verify
+
+DOCUMENT = """
+# the quickstart composition, as a text spec
+peer S {
+    database items/1
+    input pick/1
+    out flat msg/1
+
+    input pick(x) <- items(x)
+    send  msg(x)  <- pick(x)
+}
+
+peer R {
+    state got/1
+    in flat msg/1
+
+    insert got(x) <- ?msg(x)
+}
+
+database S {
+    items: ("a",), ("b",)
+}
+"""
+
+
+class TestLoadComposition:
+    def test_peers_and_channels(self):
+        comp = load_composition(DOCUMENT)
+        assert [p.name for p in comp.peers] == ["S", "R"]
+        assert comp.channel("msg").sender == "S"
+        assert comp.is_closed
+
+    def test_rules_parsed(self):
+        comp = load_composition(DOCUMENT)
+        officer = comp.peer("S")
+        assert len(officer.rules) == 2
+
+    def test_comments_stripped(self):
+        comp = load_composition("# hi\npeer P {\n database d/1 # inline\n}")
+        assert comp.peers[0].database[0].name == "d"
+
+    def test_multiline_rule_body(self):
+        text = """
+        peer P {
+            database d/2
+            state s/2
+            insert s(x, y) <- d(x, y)
+                              & x = y
+        }
+        """
+        comp = load_composition(text)
+        rule = comp.peer("P").rules[0]
+        assert "x = y" in str(rule.body)
+
+    def test_propositional_declarations(self):
+        text = """
+        peer P {
+            state flag/0
+            input go/0
+            input go <- true
+            insert flag <- go
+        }
+        """
+        comp = load_composition(text)
+        assert comp.peer("P").states[0].arity == 0
+
+    def test_nested_queue_declaration(self):
+        text = """
+        peer P {
+            database d/1
+            input go/0
+            out nested bulk/1
+            input go <- true
+            send bulk(x) <- go & d(x)
+        }
+        peer Q {
+            state s/1
+            in nested bulk/1
+            insert s(x) <- ?bulk(x)
+        }
+        """
+        comp = load_composition(text)
+        assert comp.channel("bulk").nested
+
+    def test_missing_brace_rejected(self):
+        with pytest.raises(ParseError):
+            load_composition("peer P {\n database d/1\n")
+
+    def test_garbage_statement_rejected(self):
+        with pytest.raises(ParseError):
+            load_composition("peer P {\n databaze d/1\n}")
+
+    def test_no_peers_rejected(self):
+        with pytest.raises(SpecificationError):
+            load_composition("# nothing here")
+
+
+class TestLoadDatabases:
+    def test_rows(self):
+        dbs = load_databases(DOCUMENT)
+        assert dbs["S"]["items"] == frozenset({("a",), ("b",)})
+
+    def test_integer_values(self):
+        dbs = load_databases(
+            'database P {\n r: ("x", 1), ("y", -2)\n}'
+        )
+        assert (("x", 1) in dbs["P"]["r"])
+        assert (("y", -2) in dbs["P"]["r"])
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ParseError):
+            load_databases("database P {\n r: (unquoted,)\n}")
+
+
+class TestAuctionSpecFile:
+    """The shipped examples/specs/auction.dws stays loadable and correct."""
+
+    @pytest.fixture(scope="class")
+    def auction(self):
+        from pathlib import Path
+        path = (Path(__file__).parent.parent / "examples" / "specs"
+                / "auction.dws")
+        return load(path.read_text())
+
+    def test_loads_closed_input_bounded(self, auction):
+        composition, _dbs = auction
+        from repro.ib import is_input_bounded_composition
+        assert composition.is_closed
+        assert is_input_bounded_composition(composition)
+
+    def test_auction_completes(self, auction):
+        composition, databases = auction
+        from repro.runtime import reachable_states
+        from repro.verifier import verification_domain
+        domain = verification_domain(composition, [], databases,
+                                     fresh_count=1)
+        outcomes = set()
+        for state in reachable_states(composition, databases,
+                                      domain.values):
+            outcomes |= state.data["Seller.outcome"]
+        assert ("vase", "high", "sold") in outcomes
+
+    def test_reserve_policy_holds(self, auction):
+        composition, databases = auction
+        result = verify(
+            composition,
+            'forall x, b: G( House.!verdict(x, b, "sold") '
+            "-> House.reserve(x, b) )",
+            databases,
+        )
+        assert result.satisfied
+
+
+class TestEndToEnd:
+    def test_loaded_composition_verifies(self):
+        composition, databases = load(DOCUMENT)
+        result = verify(
+            composition,
+            "forall x: G( R.got(x) -> S.items(x) )",
+            databases,
+        )
+        assert result.satisfied
+
+    def test_loaded_composition_finds_bug(self):
+        # a spec where the receiver invents values: property fails
+        text = DOCUMENT.replace(
+            "insert got(x) <- ?msg(x)",
+            "insert got(x) <- ?msg(x) | x = \"ghost\"",
+        )
+        composition, databases = load(text)
+        result = verify(
+            composition,
+            "forall x: G( R.got(x) -> S.items(x) )",
+            databases,
+        )
+        assert not result.satisfied
+        assert result.counterexample.valuation["x"] == "ghost"

@@ -1,0 +1,80 @@
+"""Tests for verification-domain computation and valuation enumeration."""
+
+from repro.fo import Instance
+from repro.ltlfo import parse_ltlfo
+from repro.fo.terms import Var
+from repro.verifier import (
+    VerificationDomain, canonical_valuations, enumerate_databases,
+    fresh_values, verification_domain,
+)
+
+
+class TestFreshValues:
+    def test_distinct_from_taken(self):
+        fresh = fresh_values(3, {"$v0", "x"})
+        assert len(fresh) == 3
+        assert "$v0" not in fresh
+        assert len(set(fresh)) == 3
+
+
+class TestVerificationDomain:
+    def test_constants_from_spec_property_db(self, sender_receiver):
+        prop = parse_ltlfo('G( R.got(x) -> x = "k" )',
+                           sender_receiver.schema)
+        dbs = {"S": Instance({"items": [("a",)]})}
+        dom = verification_domain(sender_receiver, [prop], dbs)
+        assert "k" in dom.constants
+        assert "a" in dom.constants
+
+    def test_fresh_count_default_covers_rule_width(self, sender_receiver):
+        dom = verification_domain(sender_receiver, [], {})
+        # widest rule has 1 variable -> at least 2 fresh values
+        assert len(dom.fresh) >= 2
+
+    def test_fresh_count_override(self, sender_receiver):
+        dom = verification_domain(sender_receiver, [], {}, fresh_count=5)
+        assert len(dom.fresh) == 5
+
+    def test_values_ordering_stable(self, sender_receiver):
+        d1 = verification_domain(sender_receiver, [], {})
+        d2 = verification_domain(sender_receiver, [], {})
+        assert d1.values == d2.values
+
+
+class TestCanonicalValuations:
+    def test_single_variable(self):
+        dom = VerificationDomain(("c",), ("f0", "f1"))
+        vals = canonical_valuations([Var("x")], dom)
+        # c, or the FIRST fresh value only (symmetry)
+        assert [v[Var("x")] for v in vals] == ["c", "f0"]
+
+    def test_two_variables_fresh_in_order(self):
+        dom = VerificationDomain((), ("f0", "f1", "f2"))
+        vals = canonical_valuations([Var("x"), Var("y")], dom)
+        pairs = {(v[Var("x")], v[Var("y")]) for v in vals}
+        # x must take f0; y may reuse f0 or introduce f1 -- never f2
+        assert pairs == {("f0", "f0"), ("f0", "f1")}
+
+    def test_empty_variables(self):
+        dom = VerificationDomain(("c",), ("f",))
+        assert canonical_valuations([], dom) == [{}]
+
+    def test_count_vs_naive(self):
+        dom = VerificationDomain(("a", "b"), ("f0", "f1", "f2"))
+        vals = canonical_valuations([Var("x"), Var("y")], dom)
+        # naive would be 5^2 = 25; canonical collapses fresh symmetry
+        assert len(vals) < 25
+        # constants fully enumerated
+        pairs = {(v[Var("x")], v[Var("y")]) for v in vals}
+        assert ("a", "b") in pairs and ("b", "a") in pairs
+
+
+class TestEnumerateDatabases:
+    def test_counts(self):
+        dbs = enumerate_databases({"r": 1}, ("a", "b"), max_rows=1)
+        # 0 rows or 1 of 2 rows = 3 instances
+        assert len(dbs) == 3
+
+    def test_cross_product_of_relations(self):
+        dbs = enumerate_databases({"r": 1, "s": 1}, ("a",), max_rows=1)
+        assert len(dbs) == 4
