@@ -13,7 +13,9 @@ import pytest
 from repro.library import ecommerce, loan, travel
 from repro.verifier import verification_domain, verify_all, verify
 
-from harness import Row, report
+from harness import (
+    Row, bench_workers, cores_available, record_speedup, report,
+)
 
 
 def test_loan_property_batch(benchmark):
@@ -92,3 +94,41 @@ def test_travel_property_batch(benchmark):
     report(Row("E12", f"travel batch: {len(props)} properties",
                "SATISFIED", "SATISFIED",
                max(r.stats.system_states for r in results), total))
+
+
+def test_parallel_sweep_speedup(benchmark):
+    """Sequential vs parallel valuation sweep on the e-commerce batch.
+
+    Four valuations of the ship-requires-auth property, each a full
+    nested-DFS product search: exactly the embarrassingly parallel
+    grid the process-pool engine targets.  On a multi-core box the
+    parallel sweep must be at least 1.5x faster at four workers; on a
+    single-core box (CI containers, this repo's dev sandbox) only the
+    determinism contract is asserted and the speedup is reported
+    informationally.
+    """
+    composition = ecommerce.ecommerce_composition()
+    databases = ecommerce.standard_database("good")
+    domain = verification_domain(composition, [], databases,
+                                 fresh_count=1)
+    candidates = {"p": ("widget", "$v0"), "card": ("visa", "amex")}
+    prop = ecommerce.PROPERTY_SHIP_REQUIRES_AUTH
+    workers = bench_workers()
+
+    seq = verify(composition, prop, databases, domain=domain,
+                 valuation_candidates=candidates, workers=1)
+
+    def run_parallel():
+        return verify(composition, prop, databases, domain=domain,
+                      valuation_candidates=candidates, workers=workers)
+
+    par = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    assert seq.satisfied and par.satisfied
+    assert par.stats.valuations_checked == 4
+    speedup = record_speedup("E12", "parallel sweep: 4 valuations",
+                             seq, par, workers)
+    if cores_available() >= 2:
+        assert speedup >= 1.5, (
+            f"expected >=1.5x speedup at {workers} workers on "
+            f"{cores_available()} cores, got {speedup:.2f}x"
+        )

@@ -4,13 +4,17 @@ Usage::
 
     python -m repro verify SPEC.dws [--property NAME] [--perfect]
                            [--queue-bound K] [--fair] [--fresh N]
-                           [--counterexample]
+                           [--counterexample] [--workers N] [--stats]
     python -m repro check SPEC.dws            # input-boundedness only
     python -m repro simulate SPEC.dws [--steps N] [--seed S]
 
 ``verify`` runs every ``property`` statement in the document (or just
 ``--property NAME``) and reports verdicts; the exit status is 0 iff all
-checked properties are satisfied.
+checked properties are satisfied.  ``--workers N`` fans the valuation
+sweep out across N processes (``--workers 0``: all cores; default: the
+``REPRO_WORKERS`` environment variable, else sequential); ``--stats``
+prints the full per-property statistics including task counts and
+compute time of the parallel sweep.
 """
 
 from __future__ import annotations
@@ -62,11 +66,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
         result = verify(
             composition, prop_text, databases,
             semantics=_semantics(args), domain=domain,
-            fair_scheduling=args.fair,
+            fair_scheduling=args.fair, workers=args.workers,
         )
-        print(f"{name}: {result.verdict}  "
-              f"(states={result.stats.system_states}, "
-              f"{result.stats.wall_seconds:.2f}s)")
+        if args.stats:
+            print(f"{name}:")
+            for line in result.summary().splitlines():
+                print(f"  {line}")
+        else:
+            print(f"{name}: {result.verdict}  "
+                  f"(states={result.stats.system_states}, "
+                  f"{result.stats.wall_seconds:.2f}s)")
         if not result.satisfied:
             all_ok = False
             if args.counterexample and result.counterexample:
@@ -122,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="restrict to fair scheduling")
     p_verify.add_argument("--counterexample", action="store_true",
                           help="print counterexample runs")
+    p_verify.add_argument("--workers", type=int, default=None,
+                          help="parallel sweep worker processes "
+                               "(0: all cores; default: $REPRO_WORKERS "
+                               "or sequential)")
+    p_verify.add_argument("--stats", action="store_true",
+                          help="print full per-property statistics")
     p_verify.set_defaults(func=cmd_verify)
 
     p_check = sub.add_parser("check", help="input-boundedness check only")

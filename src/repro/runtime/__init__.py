@@ -4,14 +4,21 @@ from .state import (
     GlobalState, Message, QueueContents, empty_queues, first_message,
     freeze_queues, last_message, snapshot_view,
 )
-from .step import initial_states, input_choices, peer_successors, successors
+from .step import (
+    clear_rule_cache, initial_states, input_choices, peer_successors,
+    rule_cache_info, successors,
+)
 from .environment import environment_successors
-from .run import Lasso, iterate_snapshot_views, reachable_states, simulate
+from .run import (
+    Lasso, iterate_snapshot_views, reachable_states, simulate,
+    validate_lasso,
+)
 
 __all__ = [
-    "GlobalState", "Lasso", "Message", "QueueContents", "empty_queues",
-    "environment_successors", "first_message", "freeze_queues",
-    "initial_states", "input_choices", "iterate_snapshot_views",
-    "last_message", "peer_successors", "reachable_states", "simulate",
-    "snapshot_view", "successors",
+    "GlobalState", "Lasso", "Message", "QueueContents", "clear_rule_cache",
+    "empty_queues", "environment_successors", "first_message",
+    "freeze_queues", "initial_states", "input_choices",
+    "iterate_snapshot_views", "last_message", "peer_successors",
+    "reachable_states", "rule_cache_info", "simulate", "snapshot_view",
+    "successors", "validate_lasso",
 ]

@@ -113,6 +113,57 @@ def simulate(composition: Composition,
     return trace
 
 
+def validate_lasso(composition: Composition,
+                   databases: Mapping[str, Instance],
+                   domain: Domain,
+                   lasso: Lasso,
+                   semantics: ChannelSemantics = DECIDABLE_DEFAULT,
+                   include_environment: bool = True,
+                   env_one_action_per_move: bool = True,
+                   env_value_domain: Domain | None = None,
+                   ) -> list[str]:
+    """Replay a lasso through the legal-successor relation.
+
+    Returns a list of problems (empty iff the lasso is a genuine run):
+    the first snapshot must be a legal initial snapshot, every
+    consecutive pair must be a legal transition, and the cycle must close
+    back onto its own first snapshot.  Used by the counterexample-replay
+    tests to guard against prefix/cycle-splicing bugs in the emptiness
+    search, and available to callers that want defence-in-depth on
+    verifier output.
+
+    The ``env_*`` knobs must match the ones the verifier searched with,
+    otherwise environment moves of an open composition are judged
+    against a different environment.
+    """
+    problems: list[str] = []
+    states = lasso.states()
+    if not states:
+        return ["empty lasso"]
+
+    starts = initial_states(composition, databases, domain)
+    if states[0] not in starts:
+        problems.append("first snapshot is not a legal initial snapshot")
+
+    def succs(state: GlobalState) -> list[GlobalState]:
+        return successors(
+            composition, state, domain, semantics,
+            include_environment=include_environment,
+            env_one_action_per_move=env_one_action_per_move,
+            env_value_domain=env_value_domain,
+        )
+
+    for idx in range(len(states) - 1):
+        if states[idx + 1] not in succs(states[idx]):
+            problems.append(
+                f"snapshot {idx + 1} is not a legal successor of "
+                f"snapshot {idx}"
+            )
+    if lasso.cycle[0] not in succs(lasso.cycle[-1]):
+        problems.append("the cycle does not close back onto its start")
+    return problems
+
+
 def reachable_states(composition: Composition,
                      databases: Mapping[str, Instance],
                      domain: Domain,

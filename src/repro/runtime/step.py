@@ -25,6 +25,8 @@ so :func:`successors` returns every legal successor snapshot.
 from __future__ import annotations
 
 import itertools
+import os
+from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
 
 from ..errors import SpecificationError
@@ -48,34 +50,107 @@ def _row_key(row: tuple) -> tuple:
     return tuple(value_sort_key(v) for v in row)
 
 
-#: Rule-firing cache: a rule body's answers depend only on the extensions
-#: of the relations it mentions and the quantification domain, both of
-#: which repeat heavily across snapshots during model checking.
-_ANSWER_CACHE: dict = {}
-_RELEVANT_CACHE: dict = {}
+class _RuleCache:
+    """Process-local, bounded (LRU) rule-firing memo.
+
+    A rule body's answers depend only on the extensions of the relations
+    it mentions and the quantification domain, both of which repeat
+    heavily across snapshots during model checking.  The cache is keyed
+    by the owning process id so that worker processes created by
+    ``fork`` never serve (or mutate) entries inherited from the parent:
+    the first access in a new process starts from an empty, private
+    cache.  Entries are evicted least-recently-used once ``maxsize`` is
+    reached, bounding memory in long-running services.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._pid = os.getpid()
+        self._answers: OrderedDict = OrderedDict()
+        self._relevant: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _check_owner(self) -> None:
+        pid = os.getpid()
+        if pid != self._pid:
+            self._pid = pid
+            self.clear()
+
+    def clear(self) -> None:
+        self._answers.clear()
+        self._relevant.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def relevant_relations(self, rule: Rule) -> tuple[str, ...]:
+        relevant = self._relevant.get(rule)
+        if relevant is None:
+            from ..fo.formulas import relations
+            relevant = tuple(sorted(relations(rule.body)))
+            self._relevant[rule] = relevant
+        return relevant
+
+    def answers_for(self, rule: Rule, view: Instance, domain: Domain
+                    ) -> Rows:
+        self._check_owner()
+        key = (
+            rule,
+            tuple(view[rel] for rel in self.relevant_relations(rule)),
+            tuple(domain),
+        )
+        cached = self._answers.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._answers.move_to_end(key)
+            return cached
+        self.misses += 1
+        result = answers(rule.body, rule.head, view, domain)
+        self._answers[key] = result
+        if len(self._answers) > self.maxsize:
+            self._answers.popitem(last=False)
+            self.evictions += 1
+        return result
+
+    def info(self) -> dict:
+        return {
+            "size": len(self._answers),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+def _default_cache_size() -> int:
+    raw = os.environ.get("REPRO_RULE_CACHE_SIZE", "")
+    try:
+        size = int(raw)
+    except ValueError:
+        return 100_000
+    return max(size, 1)
+
+
+_RULE_CACHE = _RuleCache(_default_cache_size())
 
 
 def clear_rule_cache() -> None:
-    """Drop the global rule-firing memo (tests / long-running processes)."""
-    _ANSWER_CACHE.clear()
-    _RELEVANT_CACHE.clear()
+    """Drop the rule-firing memo (tests / long-running processes)."""
+    _RULE_CACHE.clear()
+
+
+def rule_cache_info() -> dict:
+    """Size/hit/miss/eviction counters of this process's rule cache."""
+    return _RULE_CACHE.info()
 
 
 def _rule_answers(rule: Rule | None, view: Instance, domain: Domain
                   ) -> Rows:
     if rule is None:
         return frozenset()
-    relevant = _RELEVANT_CACHE.get(rule)
-    if relevant is None:
-        from ..fo.formulas import relations
-        relevant = tuple(sorted(relations(rule.body)))
-        _RELEVANT_CACHE[rule] = relevant
-    key = (rule, tuple(view[rel] for rel in relevant), tuple(domain))
-    cached = _ANSWER_CACHE.get(key)
-    if cached is None:
-        cached = answers(rule.body, rule.head, view, domain)
-        _ANSWER_CACHE[key] = cached
-    return cached
+    return _RULE_CACHE.answers_for(rule, view, domain)
 
 
 def _find_rule(rules: Iterable[Rule], kind: RuleKind, target: str

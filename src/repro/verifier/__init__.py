@@ -3,12 +3,20 @@ modular (assume-guarantee) verification."""
 
 from .atoms import OccursAtom, SnapshotEvaluator
 from .domain import (
-    VerificationDomain, canonical_valuations, enumerate_databases,
-    fresh_values, verification_domain,
+    VerificationDomain, canonical_valuations, canonicalize_valuation,
+    enumerate_databases, fresh_values, verification_domain,
+)
+from .parallel import (
+    SweepContext, SweepPayload, SweepTask, check_one_valuation,
+    default_workers, resolve_workers, run_sweep,
 )
 from .product import ProductSystem, SearchBudget, TransitionCache
-from .result import Counterexample, VerificationResult, VerifierStats
-from .search import LassoNodes, SearchStats, find_accepting_lasso
+from .result import (
+    Counterexample, TaskStats, VerificationResult, VerifierStats,
+)
+from .search import (
+    LassoNodes, SearchCancelled, SearchStats, find_accepting_lasso,
+)
 from .ltlfo_verifier import verify, verify_all, verify_over_databases
 from .modular import (
     environment_schema, observer_translate, parse_env_spec,
@@ -17,10 +25,13 @@ from .modular import (
 
 __all__ = [
     "Counterexample", "LassoNodes", "OccursAtom", "ProductSystem",
-    "SearchBudget", "SearchStats", "SnapshotEvaluator", "TransitionCache",
-    "VerificationDomain", "VerificationResult", "VerifierStats",
-    "canonical_valuations", "enumerate_databases", "environment_schema",
-    "find_accepting_lasso", "fresh_values", "observer_translate",
-    "parse_env_spec", "translate_env_spec", "verification_domain",
-    "verify", "verify_all", "verify_modular", "verify_over_databases",
+    "SearchBudget", "SearchCancelled", "SearchStats", "SnapshotEvaluator",
+    "SweepContext", "SweepPayload", "SweepTask", "TaskStats",
+    "TransitionCache", "VerificationDomain", "VerificationResult",
+    "VerifierStats", "canonical_valuations", "canonicalize_valuation",
+    "check_one_valuation", "default_workers", "enumerate_databases",
+    "environment_schema", "find_accepting_lasso", "fresh_values",
+    "observer_translate", "parse_env_spec", "resolve_workers",
+    "run_sweep", "translate_env_spec", "verification_domain", "verify",
+    "verify_all", "verify_modular", "verify_over_databases",
 ]

@@ -134,6 +134,31 @@ def canonical_valuations(
     return results
 
 
+def canonicalize_valuation(
+    variables: Sequence, valuation: Mapping, domain: VerificationDomain
+) -> dict:
+    """The canonical representative of a valuation's symmetry orbit.
+
+    Fresh values are interchangeable, so two valuations that differ only
+    by a permutation of fresh values describe the same verification
+    obligation.  The representative renames fresh values to the first
+    ones of ``domain.fresh`` in order of first use (constants are left
+    untouched).  :func:`canonical_valuations` enumerates exactly the
+    fixpoints of this map -- a property the property-based tests check.
+    """
+    fresh_set = set(domain.fresh)
+    rename: dict = {}
+    out: dict = {}
+    for var in variables:
+        value = valuation[var]
+        if value in fresh_set:
+            if value not in rename:
+                rename[value] = domain.fresh[len(rename)]
+            value = rename[value]
+        out[var] = value
+    return out
+
+
 def enumerate_databases(
     relation_arities: Mapping[str, int],
     domain: Sequence[Value],

@@ -29,22 +29,22 @@ from ..fo.instance import Instance
 from ..fo.terms import Value
 from ..ib.checker import check_composition, check_sentence
 from ..errors import InputBoundednessError
-from ..ltl.formulas import land, latom, lfinally, lnot
-from ..ltl.translate import ltl_to_buchi
 from ..ltlfo.formulas import LTLFOSentence
 from ..ltlfo.parser import parse_ltlfo
 from ..runtime.run import Lasso
 from ..spec.channels import ChannelSemantics, DECIDABLE_DEFAULT
 from ..spec.composition import Composition
-from .atoms import OccursAtom, SnapshotEvaluator
 from .domain import (
     VerificationDomain, canonical_valuations, verification_domain,
 )
-from .product import ProductSystem, SearchBudget, TransitionCache
+from .parallel import (
+    check_one_valuation, parallel_verify, parallel_verify_all,
+    parallel_verify_over_databases, resolve_workers,
+)
+from .product import SearchBudget, TransitionCache
 from .result import (
     Counterexample, Stopwatch, VerificationResult, VerifierStats,
 )
-from .search import find_accepting_lasso
 
 
 def _as_sentence(prop: LTLFOSentence | str,
@@ -85,6 +85,7 @@ def verify(composition: Composition,
            env_value_domain: Sequence[Value] | None = None,
            env_one_action_per_move: bool = True,
            fair_scheduling: bool = False,
+           workers: int | None = None,
            ) -> VerificationResult:
     """Decide ``composition |= prop`` over the given databases.
 
@@ -122,6 +123,14 @@ def verify(composition: Composition,
         trivially defeats most liveness properties; fairness is the
         standard remedy (a library extension -- the paper does not
         discuss fairness).
+    workers:
+        Fan the valuation sweep out across this many worker processes
+        (``None``: the ``REPRO_WORKERS`` environment default, normally
+        1; ``0``: all cores).  Verdicts and counterexamples are
+        identical to the sequential sweep (see
+        :mod:`repro.verifier.parallel`).  Ignored when a shared
+        ``transition_cache`` is supplied, since worker processes cannot
+        populate the caller's in-process cache.
     """
     sentence = _as_sentence(prop, composition)
     _check_restrictions(composition, sentence, check_input_bounded)
@@ -130,14 +139,6 @@ def verify(composition: Composition,
         domain = verification_domain(
             composition, [sentence], databases
         )
-
-    stats = VerifierStats()
-    cache = transition_cache or TransitionCache(
-        composition, databases, domain.values, semantics,
-        include_environment=include_environment, budget=budget,
-        env_value_domain=env_value_domain,
-        env_one_action_per_move=env_one_action_per_move,
-    )
 
     valuations = canonical_valuations(sentence.variables, domain)
     if valuation_candidates:
@@ -149,49 +150,43 @@ def verify(composition: Composition,
                 for var in sentence.variables
             )
         ]
-    result_counterexample: Counterexample | None = None
 
-    fairness_terms = []
-    if fair_scheduling:
-        from ..fo.formulas import Atom
-        from ..fo.schema import move_name
-        from ..ltl.formulas import lglobally
-        fairness_terms = [
-            lglobally(lfinally(latom(Atom(move_name(p.name), ()))))
-            for p in composition.peers
-        ]
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and transition_cache is None and len(valuations) > 1:
+        return parallel_verify(
+            composition, sentence, databases, semantics, domain,
+            valuations, n_workers, budget=budget,
+            include_environment=include_environment,
+            env_value_domain=env_value_domain,
+            env_one_action_per_move=env_one_action_per_move,
+            fair_scheduling=fair_scheduling,
+        )
+
+    stats = VerifierStats()
+    cache = transition_cache or TransitionCache(
+        composition, databases, domain.values, semantics,
+        include_environment=include_environment, budget=budget,
+        env_value_domain=env_value_domain,
+        env_one_action_per_move=env_one_action_per_move,
+    )
+    result_counterexample: Counterexample | None = None
 
     with Stopwatch(stats):
         for valuation in valuations:
             stats.valuations_checked += 1
-            body = sentence.instantiate(valuation)
-            negated = lnot(body)
-            # Dom(rho) restriction: fresh valuation values must occur
-            occurs_terms = [
-                lfinally(latom(OccursAtom(v)))
-                for v in set(valuation.values())
-                if v not in domain.constants
-            ]
-            nba = ltl_to_buchi(
-                land(negated, *occurs_terms, *fairness_terms)
+            outcome = check_one_valuation(
+                composition, sentence, valuation, domain, cache,
+                fair_scheduling=fair_scheduling,
             )
-            stats.nba_states_total += nba.num_states()
-            evaluator = SnapshotEvaluator(
-                composition, domain.values, nba.aps
-            )
-            product = ProductSystem(cache, nba, evaluator)
-            lasso_nodes, search_stats = find_accepting_lasso(product)
-            stats.merge_search(search_stats.blue_visited,
-                               search_stats.red_visited)
-            if lasso_nodes is not None:
-                prefix = tuple(n[0] for n in lasso_nodes.prefix)
-                cycle = tuple(n[0] for n in lasso_nodes.cycle)
+            stats.nba_states_total += outcome.nba_states
+            stats.merge_search(outcome.blue_visited, outcome.red_visited)
+            if outcome.violated:
                 result_counterexample = Counterexample(
                     valuation={
                         var.name: value
                         for var, value in valuation.items()
                     },
-                    lasso=Lasso(prefix, cycle),
+                    lasso=Lasso(outcome.lasso_prefix, outcome.lasso_cycle),
                     property_text=str(sentence),
                 )
                 break
@@ -213,6 +208,7 @@ def verify_over_databases(composition: Composition,
                           domain_values: Sequence[Value],
                           max_rows: int = 1,
                           semantics: ChannelSemantics = DECIDABLE_DEFAULT,
+                          workers: int | None = None,
                           **kwargs) -> VerificationResult:
     """Decide the property over *every* database within the given bounds.
 
@@ -224,6 +220,13 @@ def verify_over_databases(composition: Composition,
     ``relation_arities_by_peer`` maps each peer name to the relation
     arities of the databases to enumerate, e.g.
     ``{"S": {"items": 1}}``.
+
+    With ``workers > 1`` the full (database, valuation) grid is fanned
+    out across worker processes; the first violated cell in enumeration
+    order decides, so the verdict and counterexample match the
+    sequential enumeration.  Keyword arguments beyond
+    ``check_input_bounded``/``budget``/``domain`` force the sequential
+    path (they configure per-call machinery the grid does not ship).
     """
     from .domain import enumerate_databases
     import itertools
@@ -235,12 +238,38 @@ def verify_over_databases(composition: Composition,
                                         max_rows=max_rows)
         per_peer.append([(peer_name, inst) for inst in instances])
 
+    combos = (
+        [dict(c) for c in itertools.product(*per_peer)] if per_peer
+        else [{}]
+    )
+
+    n_workers = resolve_workers(workers)
+    parallel_ok = not (set(kwargs) - {"check_input_bounded", "budget",
+                                      "domain"})
+    if n_workers > 1 and len(combos) > 1 and parallel_ok:
+        sentence = _as_sentence(prop, composition)
+        _check_restrictions(composition, sentence,
+                            kwargs.get("check_input_bounded", True))
+        fixed_domain = kwargs.get("domain")
+        domains = [
+            fixed_domain or verification_domain(composition, [sentence],
+                                                dbs)
+            for dbs in combos
+        ]
+        valuations_per_combo = [
+            canonical_valuations(sentence.variables, dom)
+            for dom in domains
+        ]
+        return parallel_verify_over_databases(
+            composition, sentence, combos, semantics, domains,
+            valuations_per_combo, n_workers,
+            budget=kwargs.get("budget"),
+        )
+
     last: VerificationResult | None = None
-    combos = itertools.product(*per_peer) if per_peer else [()]
-    for combo in combos:
-        databases = dict(combo)
+    for databases in combos:
         result = verify(composition, prop, databases,
-                        semantics=semantics, **kwargs)
+                        semantics=semantics, workers=n_workers, **kwargs)
         if not result.satisfied:
             return result
         last = result
@@ -255,11 +284,31 @@ def verify_all(composition: Composition,
                domain: VerificationDomain | None = None,
                check_input_bounded: bool = True,
                budget: SearchBudget | None = None,
+               workers: int | None = None,
                ) -> list[VerificationResult]:
-    """Verify several properties sharing one transition-system exploration."""
+    """Verify several properties sharing one transition-system exploration.
+
+    With ``workers > 1`` every (property, valuation) pair becomes one
+    task of the parallel sweep; each worker process keeps a private
+    transition cache shared across the tasks it executes.  Verdicts and
+    counterexamples are identical to the sequential batch.
+    """
     sentences = [_as_sentence(p, composition) for p in props]
     if domain is None:
         domain = verification_domain(composition, sentences, databases)
+
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and sentences:
+        for sentence in sentences:
+            _check_restrictions(composition, sentence, check_input_bounded)
+        valuations_per_sentence = [
+            canonical_valuations(s.variables, domain) for s in sentences
+        ]
+        return parallel_verify_all(
+            composition, sentences, databases, semantics, domain,
+            valuations_per_sentence, n_workers, budget=budget,
+        )
+
     cache = TransitionCache(
         composition, databases, domain.values, semantics, budget=budget,
     )

@@ -1,0 +1,601 @@
+"""Parallel valuation-sweep execution engine for the LTL-FO verifier.
+
+The verifier's outer loop is embarrassingly parallel: each canonical
+valuation of the property's closure variables (times each candidate
+database, for enumeration sweeps) spawns an independent Büchi
+translation plus nested-DFS emptiness search.  This module fans that
+(valuation, database) task grid out across worker processes:
+
+* **Deterministic ordering.**  Tasks carry a total order matching the
+  sequential sweep.  A group's verdict is decided by the *lowest-order*
+  violated task, so ``workers=N`` returns the same verdict, the same
+  decisive valuation, and the same counterexample lasso as
+  ``workers=1`` (the per-task search itself is deterministic).
+* **Early cancellation.**  As soon as any worker finds an accepting
+  lasso it publishes the violated order in a shared array; workers poll
+  it from inside the emptiness search (:class:`~repro.verifier.search.
+  SearchCancelled`) and abandon in-flight tasks that can no longer
+  affect the verdict (only tasks *later* in the order are cancelled --
+  earlier ones must still complete to keep the decision deterministic).
+* **Per-task stats.**  Every task reports wall time and node counts;
+  the driver aggregates them into :class:`VerifierStats` (``per_task``,
+  ``task_seconds``, ``tasks_run``, ``tasks_cancelled``).  Only tasks at
+  or before the decisive order contribute to the headline counters, so
+  ``product_nodes_visited`` matches the sequential sweep exactly.
+* **Graceful fallback.**  ``workers<=1``, single-task grids, payloads
+  that fail to pickle, or a broken worker pool all fall back to the
+  in-process sequential sweep -- same results, one core.
+
+Workers are seeded once (via the pool initializer) with the pickled
+:class:`SweepPayload`; each worker lazily builds a private
+:class:`TransitionCache` per database context and keeps it across the
+tasks it executes, so transition exploration is paid once per worker
+rather than once per task.  The rule-firing memo in
+:mod:`repro.runtime.step` is process-local and cleared on worker start.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import time
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..fo.instance import Instance
+from ..fo.terms import Value, Var, value_sort_key
+from ..ltl.formulas import land, latom, lfinally, lglobally, lnot
+from ..ltl.translate import ltl_to_buchi
+from ..ltlfo.formulas import LTLFOSentence
+from ..runtime.run import Lasso
+from ..runtime.step import clear_rule_cache
+from ..spec.channels import ChannelSemantics
+from ..spec.composition import Composition
+from .atoms import OccursAtom, SnapshotEvaluator
+from .domain import VerificationDomain
+from .product import ProductSystem, SearchBudget, TransitionCache
+from .result import (
+    Counterexample, TaskStats, VerificationResult, VerifierStats,
+)
+from .search import SearchCancelled, find_accepting_lasso
+
+#: Sentinel order meaning "no violation found yet" in the cancel array.
+_UNDECIDED = 2 ** 62
+
+
+# ---------------------------------------------------------------------------
+# worker-count resolution
+
+
+def default_workers() -> int:
+    """The worker count implied by ``REPRO_WORKERS`` (default: 1).
+
+    ``REPRO_WORKERS=0`` (or any non-positive value) means "all cores".
+    """
+    raw = os.environ.get("REPRO_WORKERS", "")
+    try:
+        n = int(raw)
+    except ValueError:
+        return 1
+    if n <= 0:
+        return os.cpu_count() or 1
+    return n
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers=`` argument (None -> env default, <=0 -> all)."""
+    if workers is None:
+        return default_workers()
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+# ---------------------------------------------------------------------------
+# the task grid
+
+
+@dataclass(frozen=True)
+class SweepContext:
+    """One database context of the grid: fixed databases + their domain."""
+
+    databases: tuple[tuple[str, Instance], ...]
+    domain: VerificationDomain
+
+
+@dataclass(frozen=True)
+class SweepPayload:
+    """Everything a worker needs, shipped once via the pool initializer."""
+
+    composition: Composition
+    contexts: tuple[SweepContext, ...]
+    sentences: tuple[LTLFOSentence, ...]
+    semantics: ChannelSemantics
+    include_environment: bool = True
+    env_value_domain: tuple[Value, ...] | None = None
+    env_one_action_per_move: bool = True
+    fair_scheduling: bool = False
+    budget: SearchBudget | None = None
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of the (valuation, database) grid.
+
+    ``group`` selects the result slot (one per property in
+    ``verify_all``); ``order`` is the task's position in the sequential
+    sweep of its group -- the determinism anchor.
+    """
+
+    group: int
+    order: int
+    ctx: int
+    sentence: int
+    valuation: tuple[tuple[Var, Value], ...]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What a worker reports back for one task."""
+
+    group: int
+    order: int
+    ctx: int
+    valuation: tuple[tuple[Var, Value], ...]
+    cancelled: bool
+    lasso_prefix: tuple | None
+    lasso_cycle: tuple | None
+    nba_states: int
+    blue_visited: int
+    red_visited: int
+    states_expanded: int
+    wall_seconds: float
+
+
+def freeze_valuation(valuation: Mapping[Var, Value]
+                     ) -> tuple[tuple[Var, Value], ...]:
+    """A hashable, deterministic form of a closure valuation."""
+    return tuple(sorted(valuation.items(), key=lambda kv: kv[0].name))
+
+
+# ---------------------------------------------------------------------------
+# one grid cell (shared by the sequential and parallel sweeps)
+
+
+@dataclass(frozen=True)
+class ValuationOutcome:
+    """Result of checking one valuation: lasso (if violated) + counters."""
+
+    lasso_prefix: tuple | None
+    lasso_cycle: tuple | None
+    nba_states: int
+    blue_visited: int
+    red_visited: int
+
+    @property
+    def violated(self) -> bool:
+        return self.lasso_cycle is not None
+
+
+def fairness_terms(composition: Composition) -> list:
+    """``/\\ GF move_W`` conjuncts restricting to fair runs."""
+    from ..fo.formulas import Atom
+    from ..fo.schema import move_name
+    return [
+        lglobally(lfinally(latom(Atom(move_name(p.name), ()))))
+        for p in composition.peers
+    ]
+
+
+def check_one_valuation(composition: Composition,
+                        sentence: LTLFOSentence,
+                        valuation: Mapping[Var, Value],
+                        domain: VerificationDomain,
+                        cache: TransitionCache,
+                        fair_scheduling: bool = False,
+                        should_stop=None) -> ValuationOutcome:
+    """Translate + search one valuation of the closure variables.
+
+    The per-valuation unit of work of :func:`repro.verifier.verify`:
+    instantiate the sentence, negate, conjoin the ``Dom(rho)``
+    ``F occurs(v)`` restrictions (and fairness terms if requested),
+    translate to a Büchi automaton, and search the on-the-fly product
+    for an accepting lasso.
+    """
+    body = sentence.instantiate(valuation)
+    negated = lnot(body)
+    # Dom(rho) restriction: fresh valuation values must occur.  Sorted
+    # so the conjunct order (hence the GPVW translation) is identical
+    # across processes regardless of hash randomization.
+    occurs_terms = [
+        lfinally(latom(OccursAtom(v)))
+        for v in sorted(set(valuation.values()), key=value_sort_key)
+        if v not in domain.constants
+    ]
+    extra = fairness_terms(composition) if fair_scheduling else []
+    nba = ltl_to_buchi(land(negated, *occurs_terms, *extra))
+    evaluator = SnapshotEvaluator(composition, domain.values, nba.aps)
+    product = ProductSystem(cache, nba, evaluator)
+    lasso_nodes, search_stats = find_accepting_lasso(
+        product, should_stop=should_stop
+    )
+    if lasso_nodes is None:
+        return ValuationOutcome(None, None, nba.num_states(),
+                                search_stats.blue_visited,
+                                search_stats.red_visited)
+    prefix = tuple(n[0] for n in lasso_nodes.prefix)
+    cycle = tuple(n[0] for n in lasso_nodes.cycle)
+    return ValuationOutcome(prefix, cycle, nba.num_states(),
+                            search_stats.blue_visited,
+                            search_stats.red_visited)
+
+
+# ---------------------------------------------------------------------------
+# worker side
+
+_WORKER: dict = {}
+
+
+def _init_worker(payload_bytes: bytes, cancel) -> None:
+    clear_rule_cache()
+    _WORKER["payload"] = pickle.loads(payload_bytes)
+    _WORKER["cancel"] = cancel
+    _WORKER["caches"] = {}
+
+
+def _context_cache(payload: SweepPayload, ctx_idx: int,
+                   caches: dict) -> TransitionCache:
+    cache = caches.get(ctx_idx)
+    if cache is None:
+        # keep at most one context's exploration in memory per worker:
+        # contexts partition the state space, so old entries cannot be
+        # reused and only pin memory
+        caches.clear()
+        ctx = payload.contexts[ctx_idx]
+        cache = TransitionCache(
+            payload.composition, dict(ctx.databases), ctx.domain.values,
+            payload.semantics,
+            include_environment=payload.include_environment,
+            budget=payload.budget,
+            env_value_domain=payload.env_value_domain,
+            env_one_action_per_move=payload.env_one_action_per_move,
+        )
+        caches[ctx_idx] = cache
+    return cache
+
+
+def _execute_task(payload: SweepPayload, task: SweepTask,
+                  cache: TransitionCache, should_stop) -> TaskOutcome:
+    t0 = time.perf_counter()
+    try:
+        outcome = check_one_valuation(
+            payload.composition, payload.sentences[task.sentence],
+            dict(task.valuation), payload.contexts[task.ctx].domain,
+            cache, fair_scheduling=payload.fair_scheduling,
+            should_stop=should_stop,
+        )
+    except SearchCancelled:
+        return TaskOutcome(
+            group=task.group, order=task.order, ctx=task.ctx,
+            valuation=task.valuation, cancelled=True,
+            lasso_prefix=None, lasso_cycle=None, nba_states=0,
+            blue_visited=0, red_visited=0, states_expanded=0,
+            wall_seconds=time.perf_counter() - t0,
+        )
+    return TaskOutcome(
+        group=task.group, order=task.order, ctx=task.ctx,
+        valuation=task.valuation, cancelled=False,
+        lasso_prefix=outcome.lasso_prefix, lasso_cycle=outcome.lasso_cycle,
+        nba_states=outcome.nba_states, blue_visited=outcome.blue_visited,
+        red_visited=outcome.red_visited,
+        states_expanded=cache.states_expanded,
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def _run_task(task: SweepTask) -> TaskOutcome:
+    payload: SweepPayload = _WORKER["payload"]
+    cancel = _WORKER["cancel"]
+
+    def should_stop() -> bool:
+        return cancel is not None and cancel[task.group] < task.order
+
+    if should_stop():
+        return _cancelled_outcome(task)
+    cache = _context_cache(payload, task.ctx, _WORKER["caches"])
+    outcome = _execute_task(payload, task, cache, should_stop)
+    if outcome.lasso_cycle is not None and cancel is not None:
+        with cancel.get_lock():
+            if task.order < cancel[task.group]:
+                cancel[task.group] = task.order
+    return outcome
+
+
+def _cancelled_outcome(task: SweepTask) -> TaskOutcome:
+    return TaskOutcome(
+        group=task.group, order=task.order, ctx=task.ctx,
+        valuation=task.valuation, cancelled=True,
+        lasso_prefix=None, lasso_cycle=None, nba_states=0,
+        blue_visited=0, red_visited=0, states_expanded=0,
+        wall_seconds=0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# driver
+
+
+def _run_sweep_sequential(payload: SweepPayload,
+                          tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
+    """In-process reference sweep: deterministic order, per-group early stop."""
+    outcomes: list[TaskOutcome] = []
+    caches: dict = {}
+    decided: dict[int, int] = {}
+    for task in sorted(tasks, key=lambda t: (t.group, t.order)):
+        if decided.get(task.group, _UNDECIDED) < task.order:
+            outcomes.append(_cancelled_outcome(task))
+            continue
+        cache = _context_cache(payload, task.ctx, caches)
+        outcome = _execute_task(payload, task, cache, None)
+        outcomes.append(outcome)
+        if outcome.lasso_cycle is not None:
+            decided[task.group] = min(
+                decided.get(task.group, _UNDECIDED), task.order
+            )
+    return outcomes
+
+
+def _mp_context():
+    import multiprocessing
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else methods[0]
+    return multiprocessing.get_context(method)
+
+
+def run_sweep(payload: SweepPayload, tasks: Sequence[SweepTask],
+              workers: int) -> tuple[list[TaskOutcome], bool]:
+    """Execute the task grid; returns ``(outcomes, ran_in_parallel)``.
+
+    Falls back to the sequential in-process sweep when parallelism
+    cannot help (``workers<=1``, fewer than two tasks) or cannot be used
+    safely (payload fails to pickle, worker pool breaks).
+    """
+    if workers <= 1 or len(tasks) <= 1:
+        return _run_sweep_sequential(payload, tasks), False
+    try:
+        payload_bytes = pickle.dumps(
+            payload, protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception:
+        return _run_sweep_sequential(payload, tasks), False
+    try:
+        return _run_sweep_pool(payload_bytes, tasks, workers), True
+    except BrokenProcessPool:
+        return _run_sweep_sequential(payload, tasks), False
+
+
+def _run_sweep_pool(payload_bytes: bytes, tasks: Sequence[SweepTask],
+                    workers: int) -> list[TaskOutcome]:
+    ordered = sorted(tasks, key=lambda t: (t.group, t.order))
+    n_groups = max(t.group for t in ordered) + 1
+    ctx = _mp_context()
+    cancel = ctx.Array("q", [_UNDECIDED] * n_groups)
+    outcomes: list[TaskOutcome] = []
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(ordered)), mp_context=ctx,
+        initializer=_init_worker, initargs=(payload_bytes, cancel),
+    ) as pool:
+        futures = {pool.submit(_run_task, t): t for t in ordered}
+        earliest = [_UNDECIDED] * n_groups
+        try:
+            for future in as_completed(futures):
+                task = futures[future]
+                if future.cancelled():
+                    outcomes.append(_cancelled_outcome(task))
+                    continue
+                outcome = future.result()
+                outcomes.append(outcome)
+                if outcome.lasso_cycle is None:
+                    continue
+                # a violation decides every task later in its group:
+                # publish for in-flight searches, cancel queued futures
+                if outcome.order < earliest[outcome.group]:
+                    earliest[outcome.group] = outcome.order
+                    with cancel.get_lock():
+                        if outcome.order < cancel[outcome.group]:
+                            cancel[outcome.group] = outcome.order
+                    for pending, ptask in futures.items():
+                        if (ptask.group == outcome.group
+                                and ptask.order > outcome.order):
+                            pending.cancel()
+        except BaseException:
+            for pending in futures:
+                pending.cancel()
+            raise
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+
+
+def _aggregate_group(group: int, outcomes: Sequence[TaskOutcome],
+                     stats: VerifierStats) -> TaskOutcome | None:
+    """Fold one group's outcomes into *stats*; return the decisive task.
+
+    Only tasks at or before the decisive (lowest violated) order count
+    toward the headline stats -- exactly the tasks the sequential sweep
+    would have run -- so ``product_nodes_visited`` matches ``workers=1``.
+    Cancelled/extra tasks still appear in ``per_task`` for profiling.
+    """
+    mine = sorted(
+        (o for o in outcomes if o.group == group), key=lambda o: o.order
+    )
+    violated = [o for o in mine if not o.cancelled and o.lasso_cycle]
+    decisive = min(violated, key=lambda o: o.order, default=None)
+    cutoff = decisive.order if decisive is not None else _UNDECIDED
+    for outcome in mine:
+        counted = not outcome.cancelled and outcome.order <= cutoff
+        stats.record_task(TaskStats(
+            group=outcome.group, order=outcome.order,
+            wall_seconds=outcome.wall_seconds,
+            nba_states=outcome.nba_states,
+            product_nodes=outcome.blue_visited + outcome.red_visited,
+            system_states=outcome.states_expanded,
+            cancelled=not counted,
+        ))
+        if counted:
+            stats.valuations_checked += 1
+            stats.nba_states_total += outcome.nba_states
+            stats.merge_search(outcome.blue_visited, outcome.red_visited)
+            stats.system_states = max(stats.system_states,
+                                      outcome.states_expanded)
+    return decisive
+
+
+def _result_for_group(group: int, outcomes: Sequence[TaskOutcome],
+                      payload: SweepPayload, sentence: LTLFOSentence,
+                      workers: int, used_parallel: bool,
+                      wall_seconds: float) -> VerificationResult:
+    stats = VerifierStats(workers=workers if used_parallel else 1)
+    decisive = _aggregate_group(group, outcomes, stats)
+    stats.wall_seconds = wall_seconds
+    counterexample = None
+    domain = payload.contexts[-1].domain
+    if decisive is not None:
+        domain = payload.contexts[decisive.ctx].domain
+        counterexample = Counterexample(
+            valuation={
+                var.name: value for var, value in decisive.valuation
+            },
+            lasso=Lasso(decisive.lasso_prefix, decisive.lasso_cycle),
+            property_text=str(sentence),
+        )
+    return VerificationResult(
+        satisfied=decisive is None,
+        property_text=str(sentence),
+        counterexample=counterexample,
+        stats=stats,
+        domain_description=domain.describe(),
+        semantics_description=payload.semantics.describe(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# entry points used by repro.verifier.ltlfo_verifier
+
+
+def parallel_verify(composition: Composition,
+                    sentence: LTLFOSentence,
+                    databases: Mapping[str, Instance],
+                    semantics: ChannelSemantics,
+                    domain: VerificationDomain,
+                    valuations: Sequence[Mapping[Var, Value]],
+                    workers: int,
+                    budget: SearchBudget | None = None,
+                    include_environment: bool = True,
+                    env_value_domain: Sequence[Value] | None = None,
+                    env_one_action_per_move: bool = True,
+                    fair_scheduling: bool = False) -> VerificationResult:
+    """One property, one database set, valuations fanned out."""
+    payload = SweepPayload(
+        composition=composition,
+        contexts=(SweepContext(tuple(sorted(databases.items())), domain),),
+        sentences=(sentence,),
+        semantics=semantics,
+        include_environment=include_environment,
+        env_value_domain=(tuple(env_value_domain)
+                          if env_value_domain is not None else None),
+        env_one_action_per_move=env_one_action_per_move,
+        fair_scheduling=fair_scheduling,
+        budget=budget,
+    )
+    tasks = [
+        SweepTask(group=0, order=i, ctx=0, sentence=0,
+                  valuation=freeze_valuation(v))
+        for i, v in enumerate(valuations)
+    ]
+    t0 = time.perf_counter()
+    outcomes, used_parallel = run_sweep(payload, tasks, workers)
+    return _result_for_group(
+        0, outcomes, payload, sentence, workers, used_parallel,
+        time.perf_counter() - t0,
+    )
+
+
+def parallel_verify_all(composition: Composition,
+                        sentences: Sequence[LTLFOSentence],
+                        databases: Mapping[str, Instance],
+                        semantics: ChannelSemantics,
+                        domain: VerificationDomain,
+                        valuations_per_sentence: Sequence[
+                            Sequence[Mapping[Var, Value]]],
+                        workers: int,
+                        budget: SearchBudget | None = None,
+                        ) -> list[VerificationResult]:
+    """Several properties over one database set, one group per property."""
+    payload = SweepPayload(
+        composition=composition,
+        contexts=(SweepContext(tuple(sorted(databases.items())), domain),),
+        sentences=tuple(sentences),
+        semantics=semantics,
+        budget=budget,
+    )
+    tasks = [
+        SweepTask(group=s_idx, order=i, ctx=0, sentence=s_idx,
+                  valuation=freeze_valuation(v))
+        for s_idx, valuations in enumerate(valuations_per_sentence)
+        for i, v in enumerate(valuations)
+    ]
+    t0 = time.perf_counter()
+    outcomes, used_parallel = run_sweep(payload, tasks, workers)
+    wall = time.perf_counter() - t0
+    return [
+        _result_for_group(s_idx, outcomes, payload, sentence, workers,
+                          used_parallel, wall)
+        for s_idx, sentence in enumerate(sentences)
+    ]
+
+
+def parallel_verify_over_databases(
+        composition: Composition,
+        sentence: LTLFOSentence,
+        database_combos: Sequence[Mapping[str, Instance]],
+        semantics: ChannelSemantics,
+        domains: Sequence[VerificationDomain],
+        valuations_per_combo: Sequence[Sequence[Mapping[Var, Value]]],
+        workers: int,
+        budget: SearchBudget | None = None) -> VerificationResult:
+    """One property swept over every enumerated database combination.
+
+    The full (database, valuation) grid is one deterministic order: the
+    first violated cell (in combo-major order) decides, matching the
+    sequential enumeration.
+    """
+    contexts = tuple(
+        SweepContext(tuple(sorted(dbs.items())), dom)
+        for dbs, dom in zip(database_combos, domains)
+    )
+    payload = SweepPayload(
+        composition=composition,
+        contexts=contexts,
+        sentences=(sentence,),
+        semantics=semantics,
+        budget=budget,
+    )
+    counter = itertools.count()
+    tasks = [
+        SweepTask(group=0, order=next(counter), ctx=ctx_idx, sentence=0,
+                  valuation=freeze_valuation(v))
+        for ctx_idx, valuations in enumerate(valuations_per_combo)
+        for v in valuations
+    ]
+    t0 = time.perf_counter()
+    outcomes, used_parallel = run_sweep(payload, tasks, workers)
+    return _result_for_group(
+        0, outcomes, payload, sentence, workers, used_parallel,
+        time.perf_counter() - t0,
+    )

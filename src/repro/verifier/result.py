@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..fo.terms import Value
@@ -11,18 +11,52 @@ from ..runtime.run import Lasso
 from ..spec.composition import Composition
 
 
+@dataclass(frozen=True)
+class TaskStats:
+    """Timing and node counters of one (valuation, database) sweep task."""
+
+    group: int
+    order: int
+    wall_seconds: float
+    nba_states: int
+    product_nodes: int
+    system_states: int
+    cancelled: bool = False
+
+
 @dataclass
 class VerifierStats:
-    """Aggregate counters across a whole verification call."""
+    """Aggregate counters across a whole verification call.
+
+    ``workers``/``tasks_*``/``task_seconds``/``per_task`` are filled by
+    the parallel sweep engine; a sequential run leaves them at their
+    defaults (``workers=1``, no per-task records).  ``task_seconds`` is
+    the *sum* of per-task wall times (total compute), while
+    ``wall_seconds`` is elapsed time -- their ratio is the effective
+    parallelism.
+    """
 
     valuations_checked: int = 0
     system_states: int = 0
     product_nodes_visited: int = 0
     nba_states_total: int = 0
     wall_seconds: float = 0.0
+    workers: int = 1
+    tasks_run: int = 0
+    tasks_cancelled: int = 0
+    task_seconds: float = 0.0
+    per_task: list = field(default_factory=list)
 
     def merge_search(self, blue: int, red: int) -> None:
         self.product_nodes_visited += blue + red
+
+    def record_task(self, task: TaskStats) -> None:
+        self.per_task.append(task)
+        if task.cancelled:
+            self.tasks_cancelled += 1
+            return
+        self.tasks_run += 1
+        self.task_seconds += task.wall_seconds
 
 
 @dataclass(frozen=True)
@@ -71,7 +105,7 @@ class VerificationResult:
         return "SATISFIED" if self.satisfied else "VIOLATED"
 
     def summary(self) -> str:
-        return (
+        lines = (
             f"{self.verdict}: {self.property_text}\n"
             f"  domain: {self.domain_description}; "
             f"semantics: {self.semantics_description}\n"
@@ -80,6 +114,14 @@ class VerificationResult:
             f"product nodes: {self.stats.product_nodes_visited}, "
             f"time: {self.stats.wall_seconds:.3f}s"
         )
+        if self.stats.workers > 1:
+            lines += (
+                f"\n  workers: {self.stats.workers}, "
+                f"tasks: {self.stats.tasks_run} run + "
+                f"{self.stats.tasks_cancelled} cancelled, "
+                f"compute: {self.stats.task_seconds:.3f}s"
+            )
+        return lines
 
 
 class Stopwatch:

@@ -15,6 +15,17 @@ from typing import Callable, Iterator
 from ..errors import VerificationError
 from .product import ProductNode, ProductSystem
 
+#: How many node visits pass between ``should_stop`` polls.
+_STOP_POLL_INTERVAL = 128
+
+
+class SearchCancelled(Exception):
+    """Raised when a cooperative ``should_stop`` callback aborts a search.
+
+    Used by the parallel sweep engine to cancel in-flight emptiness
+    searches once another task has already decided the verdict.
+    """
+
 
 @dataclass
 class SearchStats:
@@ -39,13 +50,19 @@ class LassoNodes:
 def _red_search(seed: ProductNode,
                 successors: Callable[[ProductNode], Iterator[ProductNode]],
                 cyan: set, red: set,
-                stats: SearchStats) -> list[ProductNode] | None:
+                stats: SearchStats,
+                should_stop: Callable[[], bool] | None = None
+                ) -> list[ProductNode] | None:
     """DFS from *seed*; returns a path ``seed -> ... -> t`` with t cyan."""
     parents: dict[ProductNode, ProductNode] = {}
     stack = [seed]
     local_seen = {seed}
     while stack:
         node = stack.pop()
+        if (should_stop is not None
+                and stats.nodes_visited % _STOP_POLL_INTERVAL == 0
+                and should_stop()):
+            raise SearchCancelled
         for succ in successors(node):
             if succ in cyan:
                 # found the closing edge; rebuild the red path
@@ -67,13 +84,18 @@ def _red_search(seed: ProductNode,
 
 
 def find_accepting_lasso(product: ProductSystem,
-                         max_nodes: int | None = None
+                         max_nodes: int | None = None,
+                         should_stop: Callable[[], bool] | None = None
                          ) -> tuple[LassoNodes | None, SearchStats]:
     """Search the product for a reachable accepting cycle.
 
     Returns ``(lasso, stats)``; ``lasso`` is None iff no run of the system
     satisfies the automaton's (negated-property) language -- i.e. the
     property holds.
+
+    ``should_stop`` is polled every few node visits; when it returns
+    True the search raises :class:`SearchCancelled` (cooperative
+    cancellation for the parallel sweep engine).
     """
     stats = SearchStats()
     limit = max_nodes or product.cache.budget.max_product_nodes
@@ -93,6 +115,10 @@ def find_accepting_lasso(product: ProductSystem,
         stats.blue_visited += 1
         while stack:
             node, it = stack[-1]
+            if (should_stop is not None
+                    and stats.nodes_visited % _STOP_POLL_INTERVAL == 0
+                    and should_stop()):
+                raise SearchCancelled
             advanced = False
             for succ in it:
                 if succ in cyan or succ in blue:
@@ -113,7 +139,7 @@ def find_accepting_lasso(product: ProductSystem,
             stack.pop()
             if product.is_accepting(node):
                 red_path = _red_search(node, product.successors, cyan,
-                                       red, stats)
+                                       red, stats, should_stop)
                 if red_path is not None:
                     target = red_path[-1]  # the cyan node closing the cycle
                     anchor = path.index(target)

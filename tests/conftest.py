@@ -3,7 +3,21 @@
 import pytest
 
 from repro.fo import Instance
+from repro.runtime import clear_rule_cache
 from repro.spec import Composition, PeerBuilder
+
+
+@pytest.fixture(autouse=True)
+def _fresh_rule_cache():
+    """Isolate the process-local rule-firing memo between tests.
+
+    The cache only memoizes pure rule evaluations, but hidden sharing
+    makes timing and cache-counter assertions order-dependent; clearing
+    it keeps every test hermetic.
+    """
+    clear_rule_cache()
+    yield
+    clear_rule_cache()
 
 
 @pytest.fixture
