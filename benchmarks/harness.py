@@ -7,13 +7,25 @@ experiments demonstrate its theorems and examples).  Benchmarks run under
 ``benchmark`` fixture and *asserts the expected verdicts*, so a benchmark
 run doubles as an end-to-end correctness check.  The measured rows are
 printed so EXPERIMENTS.md can be regenerated from the output.
+
+Each recorded row also lands in a metrics *trajectory* file
+(``BENCH_<experiment>.json`` under ``REPRO_BENCH_METRICS_DIR``, default
+``benchmarks/metrics/``): a JSON list, appended to on every run, whose
+entries carry the row plus the full ``VerifierStats`` snapshot
+(per-phase seconds, rule-cache counters, per-worker breakdowns -- see
+:mod:`repro.obs`).  Comparing entries across commits turns the
+benchmark log into a regression trajectory for each phase, not just
+the headline wall time.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import time
 from dataclasses import dataclass
+from pathlib import Path
 
 
 @dataclass
@@ -39,6 +51,53 @@ def report(row: Row) -> None:
     print(row.render(), file=sys.stderr)
 
 
+def metrics_dir() -> Path:
+    """Directory of the ``BENCH_*.json`` metrics trajectory files."""
+    raw = os.environ.get("REPRO_BENCH_METRICS_DIR", "").strip()
+    if raw:
+        return Path(raw)
+    return Path(__file__).resolve().parent / "metrics"
+
+
+def snapshot_metrics(experiment: str, case: str, result,
+                     extra: dict | None = None) -> None:
+    """Append one metrics entry to ``BENCH_<experiment>.json``.
+
+    The entry pairs the row identity with the result's full
+    ``VerifierStats`` dict (phase seconds/counts, rule-cache counters,
+    per-worker breakdowns).  The file is a JSON list ordered by append
+    time -- a trajectory across benchmark runs.  Failures to write
+    (read-only checkout, etc.) are ignored: metrics must never fail a
+    benchmark.
+    """
+    entry = {
+        "schema": "repro.metrics/1",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "experiment": experiment,
+        "case": case,
+        "verdict": result.verdict,
+        "stats": result.stats.to_dict(),
+    }
+    if extra:
+        entry.update(extra)
+    try:
+        directory = metrics_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{experiment}.json"
+        entries = []
+        if path.exists():
+            try:
+                entries = json.loads(path.read_text())
+            except (OSError, ValueError):
+                entries = []
+        if not isinstance(entries, list):
+            entries = []
+        entries.append(entry)
+        path.write_text(json.dumps(entries, indent=2, default=str) + "\n")
+    except OSError:  # pragma: no cover - filesystem-dependent
+        pass
+
+
 def record(experiment: str, case: str, result, expected_satisfied: bool
            ) -> Row:
     """Build + print a row from a VerificationResult and assert verdict."""
@@ -52,6 +111,7 @@ def record(experiment: str, case: str, result, expected_satisfied: bool
         seconds=result.stats.wall_seconds,
     )
     report(row)
+    snapshot_metrics(experiment, case, result)
     assert result.verdict == expected, row.render()
     return row
 
@@ -93,6 +153,9 @@ def record_speedup(experiment: str, case: str, seq_result, par_result,
     seq_s = seq_result.stats.wall_seconds
     par_s = par_result.stats.wall_seconds
     speedup = seq_s / par_s if par_s > 0 else float("inf")
+    snapshot_metrics(experiment, f"{case} [seq]", seq_result)
+    snapshot_metrics(experiment, f"{case} [par x{workers}]", par_result,
+                     extra={"workers": workers, "speedup": speedup})
     print(
         f"[{experiment}] {case:42s} {seq_result.verdict:9s} "
         f"seq={seq_s:.3f}s par={par_s:.3f}s x{workers} workers "

@@ -5,30 +5,50 @@ Usage::
     python -m repro verify SPEC.dws [--property NAME] [--perfect]
                            [--queue-bound K] [--fair] [--fresh N]
                            [--counterexample] [--workers N] [--stats]
+                           [--trace FILE.jsonl] [--metrics-json FILE]
     python -m repro check SPEC.dws            # input-boundedness only
     python -m repro simulate SPEC.dws [--steps N] [--seed S]
+    python -m repro profile SPEC.dws|LIBRARY [--workers N] ...
 
 ``verify`` runs every ``property`` statement in the document (or just
 ``--property NAME``) and reports verdicts; the exit status is 0 iff all
 checked properties are satisfied.  ``--workers N`` fans the valuation
 sweep out across N processes (``--workers 0``: all cores; default: the
 ``REPRO_WORKERS`` environment variable, else sequential); ``--stats``
-prints the full per-property statistics including task counts and
-compute time of the parallel sweep.
+prints the full per-property statistics including task counts, compute
+time, and rule-cache hit rates of the parallel sweep.
+
+Every command accepts ``--trace FILE.jsonl`` (structured span/instant
+events, see :mod:`repro.obs.trace`) and ``--metrics-json FILE`` (a
+metrics snapshot plus per-result statistics).  ``profile`` runs a
+verification and prints a per-phase wall-time breakdown, with
+per-worker rows when ``--workers > 1``; its target is either a
+``.dws`` file or one of the built-in library examples
+(``loan``, ``ecommerce``, ``travel``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 from .errors import ReproError
 from .ib import check_composition, summarize
+from .obs import (
+    REGISTRY, configure_tracing, diff_numeric, phase_counts,
+    phase_seconds,
+)
 from .runtime import simulate
 from .spec import ChannelSemantics
 from .spec.dsl import load_document
 from .verifier import verification_domain, verify
+
+#: Library examples profilable without a .dws file: name -> loader
+#: returning (composition, databases, properties, valuation_candidates).
+PROFILE_LIBRARIES = ("loan", "ecommerce", "travel")
 
 
 def _semantics(args: argparse.Namespace) -> ChannelSemantics:
@@ -43,15 +63,52 @@ def _load(path: str):
     return load_document(text)
 
 
-def cmd_verify(args: argparse.Namespace) -> int:
-    composition, databases, properties = _load(args.spec)
-    if args.property:
+def _write_metrics_json(path: str | None, command: str,
+                        results: list[dict]) -> None:
+    """Write the metrics snapshot file for ``--metrics-json``.
+
+    Schema (``repro.metrics/1``): the process registry snapshot
+    (counters/gauges/histograms/phases -- driver side only; worker
+    numbers are folded into each result's ``stats``) plus one entry per
+    verification result.
+    """
+    if not path:
+        return
+    payload = {
+        "schema": "repro.metrics/1",
+        "command": command,
+        "registry": REGISTRY.snapshot(),
+        "results": results,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, default=str) + "\n")
+
+
+def _result_entry(name: str, result) -> dict:
+    return {
+        "property": name,
+        "text": result.property_text,
+        "verdict": result.verdict,
+        "stats": result.stats.to_dict(),
+    }
+
+
+def _select_properties(args: argparse.Namespace, properties: dict
+                       ) -> dict | None:
+    if getattr(args, "property", None):
         missing = [n for n in args.property if n not in properties]
         if missing:
             print(f"unknown properties: {missing}; available: "
                   f"{sorted(properties)}", file=sys.stderr)
-            return 2
-        properties = {n: properties[n] for n in args.property}
+            return None
+        return {n: properties[n] for n in args.property}
+    return properties
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    composition, databases, properties = _load(args.spec)
+    properties = _select_properties(args, properties)
+    if properties is None:
+        return 2
     if not properties:
         print("the document declares no properties "
               "(add 'property <name>: <LTL-FO>')", file=sys.stderr)
@@ -62,12 +119,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
         domain = verification_domain(composition, [], databases,
                                      fresh_count=args.fresh)
     all_ok = True
+    entries: list[dict] = []
     for name, prop_text in sorted(properties.items()):
         result = verify(
             composition, prop_text, databases,
             semantics=_semantics(args), domain=domain,
             fair_scheduling=args.fair, workers=args.workers,
         )
+        entries.append(_result_entry(name, result))
         if args.stats:
             print(f"{name}:")
             for line in result.summary().splitlines():
@@ -80,6 +139,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             all_ok = False
             if args.counterexample and result.counterexample:
                 print(result.counterexample.describe(composition))
+    _write_metrics_json(args.metrics_json, "verify", entries)
     return 0 if all_ok else 1
 
 
@@ -87,6 +147,10 @@ def cmd_check(args: argparse.Namespace) -> int:
     composition, _databases, _properties = _load(args.spec)
     violations = check_composition(composition)
     print(summarize(violations))
+    _write_metrics_json(args.metrics_json, "check", [{
+        "spec": args.spec,
+        "violations": [str(v) for v in violations],
+    }])
     return 0 if not violations else 1
 
 
@@ -102,7 +166,220 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if state.enqueued:
             events = f"  enqueued={sorted(state.enqueued)}"
         print(f"step {idx:3d}: mover={state.mover or '-':8s}{events}")
+    _write_metrics_json(args.metrics_json, "simulate", [{
+        "spec": args.spec, "steps": args.steps, "seed": args.seed,
+    }])
     return 0
+
+
+# ---------------------------------------------------------------------------
+# profile
+
+
+def _library_target(name: str):
+    """(composition, databases, properties, candidates) for a library.
+
+    Mirrors the E12 end-to-end benchmark setups, so profiling a library
+    measures the same workload the perf history tracks.
+    """
+    if name == "loan":
+        from .library import loan
+        return (
+            loan.loan_composition(), loan.standard_database("fair"),
+            {
+                "bank_policy_pointwise": loan.PROPERTY_BANK_POLICY_POINTWISE,
+                "letter_needs_application":
+                    loan.PROPERTY_LETTER_NEEDS_APPLICATION,
+            },
+            loan.STANDARD_CANDIDATES,
+        )
+    if name == "ecommerce":
+        from .library import ecommerce
+        return (
+            ecommerce.ecommerce_composition(),
+            ecommerce.standard_database("good"),
+            {
+                "ship_requires_auth": ecommerce.PROPERTY_SHIP_REQUIRES_AUTH,
+                "no_ship_on_decline": ecommerce.PROPERTY_NO_SHIP_ON_DECLINE,
+                "auth_honest": ecommerce.PROPERTY_AUTH_HONEST,
+            },
+            {"p": ("widget",), "card": ("visa", "amex")},
+        )
+    if name == "travel":
+        from .library import travel
+        return (
+            travel.travel_composition(), travel.standard_database(),
+            {
+                "itinerary_confirmed": travel.PROPERTY_ITINERARY_CONFIRMED,
+                "offers_from_catalog": travel.PROPERTY_OFFERS_FROM_CATALOG,
+            },
+            {"f": ("fl1",), "d": ("rome",)},
+        )
+    raise ReproError(f"unknown profile library {name!r}; "
+                     f"available: {', '.join(PROFILE_LIBRARIES)}")
+
+
+#: Row order of the profile breakdown table (pipeline order).
+_PHASE_ORDER = (
+    "ib-check", "valuations", "translate", "search", "expand",
+    "rule-fire", "fo-eval", "sweep",
+)
+
+
+def _phase_rows(seconds: dict, counts: dict, total: float) -> list[str]:
+    """Render per-phase rows plus an ``(other)`` remainder row.
+
+    ``seconds`` are exclusive self-times (see :mod:`repro.obs.phases`),
+    so the rows -- including the uninstrumented remainder -- sum to
+    *total*.
+    """
+    names = [n for n in _PHASE_ORDER if n in seconds]
+    names += sorted(set(seconds) - set(names))
+    rows = []
+    accounted = 0.0
+    for name in names:
+        sec = seconds[name]
+        accounted += sec
+        share = 100.0 * sec / total if total > 0 else 0.0
+        rows.append(f"  {name:12s} {counts.get(name, 0):>8d} "
+                    f"{sec:>10.3f}s {share:>6.1f}%")
+    other = max(0.0, total - accounted)
+    share = 100.0 * other / total if total > 0 else 0.0
+    rows.append(f"  {'(other)':12s} {'-':>8s} {other:>10.3f}s "
+                f"{share:>6.1f}%")
+    return rows
+
+
+def _merge_worker_tables(results: list) -> dict[str, dict]:
+    """Fold every result's per-worker stats into one table."""
+    merged: dict[str, dict] = {}
+    for result in results:
+        for worker, slot in result.stats.per_worker.items():
+            into = merged.setdefault(worker, {
+                "tasks": 0, "task_seconds": 0.0,
+                "phase_seconds": {}, "rule_cache": {},
+            })
+            into["tasks"] += slot["tasks"]
+            into["task_seconds"] += slot["task_seconds"]
+            for name, sec in slot["phase_seconds"].items():
+                into["phase_seconds"][name] = (
+                    into["phase_seconds"].get(name, 0.0) + sec
+                )
+            for key, val in slot["rule_cache"].items():
+                into["rule_cache"][key] = (
+                    into["rule_cache"].get(key, 0) + val
+                )
+    return merged
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    target = args.spec
+    if target not in PROFILE_LIBRARIES and not Path(target).is_file():
+        raise ReproError(
+            f"profile target {target!r} is neither a spec file nor a "
+            f"library example ({', '.join(PROFILE_LIBRARIES)})"
+        )
+    if target in PROFILE_LIBRARIES:
+        composition, databases, properties, candidates = (
+            _library_target(target)
+        )
+        domain = verification_domain(composition, [], databases,
+                                     fresh_count=args.fresh
+                                     if args.fresh is not None else 1)
+        semantics = None  # library defaults (decidable semantics)
+    else:
+        composition, databases, properties = _load(target)
+        candidates = None
+        domain = None
+        if args.fresh is not None:
+            domain = verification_domain(composition, [], databases,
+                                         fresh_count=args.fresh)
+        semantics = _semantics(args)
+    properties = _select_properties(args, properties)
+    if properties is None:
+        return 2
+    if not properties:
+        print("nothing to profile: no properties declared",
+              file=sys.stderr)
+        return 2
+
+    seconds_before = phase_seconds()
+    counts_before = phase_counts()
+    t0 = time.perf_counter()
+    results = []
+    all_ok = True
+    entries: list[dict] = []
+    for name, prop in sorted(properties.items()):
+        kwargs = dict(domain=domain, workers=args.workers,
+                      fair_scheduling=args.fair)
+        if semantics is not None:
+            kwargs["semantics"] = semantics
+        if candidates:
+            kwargs["valuation_candidates"] = candidates
+        result = verify(composition, prop, databases, **kwargs)
+        results.append(result)
+        entries.append(_result_entry(name, result))
+        all_ok = all_ok and result.satisfied
+        print(f"{name}: {result.verdict}  "
+              f"(valuations={result.stats.valuations_checked}, "
+              f"states={result.stats.system_states}, "
+              f"product nodes={result.stats.product_nodes_visited}, "
+              f"{result.stats.wall_seconds:.3f}s)")
+    wall = time.perf_counter() - t0
+    driver_seconds = diff_numeric(phase_seconds(), seconds_before)
+    driver_counts = diff_numeric(phase_counts(), counts_before)
+
+    workers = max(r.stats.workers for r in results)
+    print(f"\nprofile: {target} ({len(results)} properties, "
+          f"workers={workers})")
+    print(f"  {'phase':12s} {'count':>8s} {'seconds':>11s} {'%':>6s}")
+    for row in _phase_rows(driver_seconds, driver_counts, wall):
+        print(row)
+    print(f"  {'total (wall)':12s} {'':>8s} {wall:>10.3f}s {100.0:>6.1f}%")
+
+    compute = sum(r.stats.task_seconds + r.stats.cancelled_task_seconds
+                  for r in results)
+    if compute:
+        print(f"  sweep compute: {compute:.3f}s across tasks "
+              f"(parallelism {compute / wall:.2f}x)")
+
+    cache = {}
+    for r in results:
+        for key, val in r.stats.rule_cache.items():
+            cache[key] = cache.get(key, 0) + val
+    if cache.get("hits", 0) + cache.get("misses", 0):
+        total_lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        print(f"  rule cache: {cache.get('hits', 0)} hits / "
+              f"{cache.get('misses', 0)} misses "
+              f"({100.0 * cache.get('hits', 0) / total_lookups:.1f}% "
+              "hit rate)")
+
+    per_worker = _merge_worker_tables(results)
+    if workers > 1 and per_worker:
+        print("\n  per-worker breakdown (compute seconds by phase):")
+        for worker in sorted(per_worker):
+            slot = per_worker[worker]
+            phases = " ".join(
+                f"{name}={slot['phase_seconds'][name]:.3f}s"
+                for name in _PHASE_ORDER
+                if name in slot["phase_seconds"]
+            )
+            wcache = slot["rule_cache"]
+            lookups = wcache.get("hits", 0) + wcache.get("misses", 0)
+            if lookups:
+                pct = 100.0 * wcache.get("hits", 0) / lookups
+                rate = f" cache-hit={pct:.0f}%"
+            else:
+                rate = ""
+            print(f"    {worker}: tasks={slot['tasks']} "
+                  f"compute={slot['task_seconds']:.3f}s {phases}{rate}")
+
+    _write_metrics_json(args.metrics_json, "profile", entries)
+    return 0 if all_ok else 1
+
+
+# ---------------------------------------------------------------------------
+# parser
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,14 +390,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("spec", help="path to a .dws specification")
+    def common(p: argparse.ArgumentParser,
+               spec_help: str = "path to a .dws specification") -> None:
+        p.add_argument("spec", help=spec_help)
         p.add_argument("--perfect", action="store_true",
                        help="perfect channels (default: lossy)")
         p.add_argument("--queue-bound", type=int, default=1,
                        help="queue capacity k (default 1)")
         p.add_argument("--fresh", type=int, default=None,
                        help="override the number of fresh domain values")
+        p.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                       help="write span/instant trace events as JSONL")
+        p.add_argument("--metrics-json", metavar="FILE", default=None,
+                       dest="metrics_json",
+                       help="write a metrics snapshot as JSON")
 
     p_verify = sub.add_parser("verify", help="verify the document's "
                                              "properties")
@@ -149,17 +432,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.set_defaults(func=cmd_simulate)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="verify and print a per-phase time/node breakdown",
+    )
+    common(p_prof,
+           spec_help="path to a .dws specification, or a library "
+                     f"example ({', '.join(PROFILE_LIBRARIES)})")
+    p_prof.add_argument("--property", action="append",
+                        help="profile only this property (repeatable)")
+    p_prof.add_argument("--fair", action="store_true",
+                        help="restrict to fair scheduling")
+    p_prof.add_argument("--workers", type=int, default=None,
+                        help="parallel sweep worker processes "
+                             "(0: all cores)")
+    p_prof.set_defaults(func=cmd_profile)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", None):
+        configure_tracing(args.trace)
     try:
         return args.func(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    finally:
+        if getattr(args, "trace", None):
+            configure_tracing(None)
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ import itertools
 from typing import Iterable, Mapping, Sequence
 
 from ..errors import FormulaError
+from ..obs import PHASE_FO_EVAL, counter, phase
 from .formulas import (
     And, Atom, Eq, Exists, Forall, Formula, FalseF, Implies, Not, Or, TrueF,
     constants, free_vars,
@@ -223,7 +224,9 @@ def evaluate(formula: Formula, inst: Instance, domain: Sequence[Value],
             f"evaluate() requires all free variables bound; "
             f"missing {sorted(unbound)} in {formula}"
         )
-    return bool(sat_set(formula, inst, domain, env))
+    counter("fo.evaluate_calls").inc()
+    with phase(PHASE_FO_EVAL):
+        return bool(sat_set(formula, inst, domain, env))
 
 
 def answers(formula: Formula, head: Sequence[Var],
@@ -238,7 +241,9 @@ def answers(formula: Formula, head: Sequence[Var],
     ``answers(phi, x̄, configuration, domain)``.
     """
     env = dict(env or {})
-    sat = sat_set(formula, inst, domain, env)
+    counter("fo.answers_calls").inc()
+    with phase(PHASE_FO_EVAL):
+        sat = sat_set(formula, inst, domain, env)
     head_names = [v.name for v in head]
     covered = {v.name for v in free_vars(formula)} | set(env)
     missing = [n for n in head_names if n not in covered]

@@ -31,6 +31,7 @@ from typing import Iterable
 
 from ..errors import InputBoundednessError
 from ..fo import formulas as fo
+from ..obs import PHASE_IB_CHECK, counter, phase
 from ..fo.schema import RelationKind, RelationSymbol, Schema
 from ..fo.terms import Var
 from ..ltlfo.formulas import LTLFOSentence
@@ -188,8 +189,11 @@ def check_composition(composition: Composition,
                       strict: bool = False) -> list[Violation]:
     """Violations across all peers of a composition."""
     out: list[Violation] = []
-    for peer in composition.peers:
-        out.extend(check_peer(peer, strict))
+    with phase(PHASE_IB_CHECK):
+        for peer in composition.peers:
+            out.extend(check_peer(peer, strict))
+    counter("ib.compositions_checked").inc()
+    counter("ib.violations").inc(len(out))
     return out
 
 
@@ -203,8 +207,11 @@ def check_sentence(sentence: LTLFOSentence, schema: Schema,
     paper's Example 3.2.
     """
     out: list[Violation] = []
-    for payload in sentence.fo_payloads():
-        out.extend(check_formula(payload, schema, where, strict))
+    with phase(PHASE_IB_CHECK):
+        for payload in sentence.fo_payloads():
+            out.extend(check_formula(payload, schema, where, strict))
+    counter("ib.sentences_checked").inc()
+    counter("ib.violations").inc(len(out))
     return out
 
 

@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass
 
 from ..errors import FormulaError
+from ..obs import PHASE_TRANSLATE, counter, histogram, phase
 from .buchi import BuchiAutomaton, Edge, GeneralizedBuchi, Guard
 from .formulas import (
     LAnd, LAtom, LFalse, LNext, LNot, LOr, LRelease, LTrue, LUntil,
@@ -197,4 +198,11 @@ def ltl_to_generalized_buchi(formula: LTLFormula) -> GeneralizedBuchi:
 
 def ltl_to_buchi(formula: LTLFormula) -> BuchiAutomaton:
     """Translate *formula* to a plain (degeneralized) Büchi automaton."""
-    return ltl_to_generalized_buchi(formula).degeneralize()
+    with phase(PHASE_TRANSLATE):
+        nba = ltl_to_generalized_buchi(formula).degeneralize()
+    counter("translate.automata_built").inc()
+    counter("translate.nba_states").inc(nba.num_states())
+    histogram("translate.nba_states_dist",
+              boundaries=(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+              ).observe(nba.num_states())
+    return nba

@@ -1,0 +1,59 @@
+"""Observability: metrics, structured tracing, and phase profiling.
+
+A zero-dependency measurement substrate for the verifier pipeline:
+
+* :mod:`repro.obs.metrics` -- a process-local registry of counters,
+  gauges, and fixed-bucket histograms, importable from anywhere in
+  ``repro`` without circular-import risk (this package imports nothing
+  from the rest of the library);
+* :mod:`repro.obs.trace` -- a structured span/instant event stream
+  written as JSONL, thread- and fork-safe, and a strict no-op while
+  disabled (one module-global boolean check);
+* :mod:`repro.obs.phases` -- exclusive ("self-time") phase timers wired
+  through the pipeline: when phases nest, time spent in a child is
+  *not* double-counted in the parent, so per-phase seconds sum to the
+  total instrumented wall time.
+
+The registry and trace sink are per process.  Worker processes of the
+parallel sweep start from a clean slate (:func:`reset_for_worker`) and
+ship their phase/cache deltas back to the driver inside
+``TaskOutcome``; see :mod:`repro.verifier.parallel`.
+"""
+
+from .metrics import (
+    DEFAULT_TIME_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
+    REGISTRY, counter, diff_numeric, gauge, histogram, merge_numeric,
+)
+from .phases import (
+    PHASE_EXPAND, PHASE_FO_EVAL, PHASE_IB_CHECK, PHASE_RULE_FIRE,
+    PHASE_SEARCH, PHASE_SWEEP, PHASE_TRANSLATE, PHASE_VALUATIONS, phase,
+    phase_counts, phase_seconds, phase_snapshot,
+)
+from .trace import (
+    configure_tracing, instant, trace_path, tracing_enabled,
+)
+
+
+def reset_for_worker() -> None:
+    """Start a fresh per-process observability slate (pool initializer).
+
+    Forked workers inherit the parent's registry contents and the open
+    trace sink; the registry is cleared so per-task deltas are private,
+    while the trace configuration is kept (the sink reopens the JSONL
+    file on first use in the new pid, so worker spans land in the same
+    file as the driver's).
+    """
+    REGISTRY.reset()
+    from . import trace as _trace
+    _trace.reopen_in_child()
+
+
+__all__ = [
+    "Counter", "DEFAULT_TIME_BUCKETS", "Gauge", "Histogram",
+    "MetricsRegistry", "PHASE_EXPAND", "PHASE_FO_EVAL", "PHASE_IB_CHECK",
+    "PHASE_RULE_FIRE", "PHASE_SEARCH", "PHASE_SWEEP", "PHASE_TRANSLATE",
+    "PHASE_VALUATIONS", "REGISTRY", "configure_tracing", "counter", "diff_numeric", "gauge",
+    "histogram", "instant", "merge_numeric", "phase", "phase_counts",
+    "phase_seconds", "phase_snapshot", "reset_for_worker", "trace_path",
+    "tracing_enabled",
+]

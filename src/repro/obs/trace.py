@@ -1,0 +1,119 @@
+"""Structured trace events as JSONL: span begin/end plus instants.
+
+Event schema (one JSON object per line; ``repro.trace/1``):
+
+``ts``
+    seconds on the shared monotonic clock (comparable across the
+    driver and fork-started workers on Linux);
+``pid`` / ``tid``
+    emitting process and thread;
+``ph``
+    ``"B"`` (span begin), ``"E"`` (span end), or ``"I"`` (instant);
+``name``
+    the span/instant name (phase names for pipeline spans);
+``args``
+    optional JSON object of extra fields (instants only).
+
+Within one ``(pid, tid)`` stream, ``B``/``E`` events are properly
+nested and balanced -- spans are emitted by :class:`repro.obs.phases.
+phase`, a context manager.  Across processes the file is append-only:
+every event is written as one ``write()`` of a full line to a file
+opened in append mode, so concurrent writers do not interleave
+mid-line.
+
+Disabled (the default) means one module-global boolean check per
+candidate event -- no clock reads, no allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+#: Version tag stamped on the stream's opening instant event.
+SCHEMA = "repro.trace/1"
+
+_ENABLED = False
+_PATH: str | None = None
+_FILE = None
+_LOCK = threading.Lock()
+
+
+def configure_tracing(path: str | None) -> None:
+    """Start tracing to *path* (truncating it), or stop with ``None``."""
+    global _ENABLED, _PATH, _FILE
+    with _LOCK:
+        if _FILE is not None:
+            _FILE.close()
+            _FILE = None
+        _PATH = path
+        _ENABLED = path is not None
+        if path is not None:
+            # Truncate, then write in append mode: O_APPEND writes land
+            # at end-of-file atomically, so the driver and fork-started
+            # workers can share one sink without tearing lines.  A "w"
+            # handle would keep its own offset and overwrite them.
+            open(path, "w").close()
+            _FILE = open(path, "a")
+    if path is not None:
+        instant("trace-start", schema=SCHEMA)
+
+
+def tracing_enabled() -> bool:
+    return _ENABLED
+
+
+def trace_path() -> str | None:
+    return _PATH
+
+
+def reopen_in_child() -> None:
+    """Drop the inherited file handle; the next event reopens for append.
+
+    Called from the pool-worker initializer so a forked child does not
+    share the parent's userspace file buffer.
+    """
+    global _FILE
+    _FILE = None
+
+
+def _write(event: dict) -> None:
+    global _FILE
+    line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+    with _LOCK:
+        if _FILE is None:
+            if _PATH is None:
+                return
+            _FILE = open(_PATH, "a")
+        _FILE.write(line)
+        _FILE.flush()
+
+
+def emit_span(ph: str, name: str) -> None:
+    if not _ENABLED:
+        return
+    _write({
+        "ts": time.monotonic(),
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "ph": ph,
+        "name": name,
+    })
+
+
+def instant(name: str, **args) -> None:
+    """Emit an instant event with optional JSON-able payload fields."""
+    if not _ENABLED:
+        return
+    event = {
+        "ts": time.monotonic(),
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "ph": "I",
+        "name": name,
+    }
+    if args:
+        event["args"] = args
+    _write(event)

@@ -18,7 +18,9 @@ from ..fo.instance import Instance
 from ..ltl.buchi import BuchiAutomaton
 from ..ltl.formulas import land, latom, lfinally
 from ..ltl.translate import ltl_to_buchi
+from ..obs import diff_numeric, phase_counts, phase_seconds
 from ..runtime.run import Lasso
+from ..runtime.step import rule_cache_delta, rule_cache_info
 from ..runtime.state import GlobalState, snapshot_view
 from ..spec.channels import ChannelSemantics, DECIDABLE_DEFAULT
 from ..spec.composition import Composition
@@ -108,6 +110,9 @@ def verify_agnostic(composition: Composition,
     )
     text = (f"agnostic protocol over {sorted(protocol.alphabet)} "
             f"({protocol.observer.value})")
+    cache_before = rule_cache_info()
+    seconds_before = phase_seconds()
+    counts_before = phase_counts()
     with Stopwatch(stats):
         stats.valuations_checked = 1
         nba = protocol.violation_automaton()
@@ -118,6 +123,9 @@ def verify_agnostic(composition: Composition,
         counterexample = _search(composition, cache, nba, evaluator,
                                  stats, {}, text)
         stats.system_states = cache.states_expanded
+    stats.merge_phases(diff_numeric(phase_seconds(), seconds_before),
+                       diff_numeric(phase_counts(), counts_before))
+    stats.merge_rule_cache(rule_cache_delta(cache_before))
     return VerificationResult(
         satisfied=counterexample is None,
         property_text=text,
@@ -162,6 +170,9 @@ def verify_aware(composition: Composition,
     violation = protocol.violation_automaton()
 
     counterexample: Counterexample | None = None
+    cache_before = rule_cache_info()
+    seconds_before = phase_seconds()
+    counts_before = phase_counts()
     with Stopwatch(stats):
         for valuation in canonical_valuations(variables, domain):
             stats.valuations_checked += 1
@@ -199,6 +210,10 @@ def verify_aware(composition: Composition,
             if counterexample is not None:
                 break
         stats.system_states = cache.states_expanded
+
+    stats.merge_phases(diff_numeric(phase_seconds(), seconds_before),
+                       diff_numeric(phase_counts(), counts_before))
+    stats.merge_rule_cache(rule_cache_delta(cache_before))
 
     return VerificationResult(
         satisfied=counterexample is None,

@@ -6,7 +6,7 @@ from .state import (
 )
 from .step import (
     clear_rule_cache, initial_states, input_choices, peer_successors,
-    rule_cache_info, successors,
+    rule_cache_delta, rule_cache_info, successors,
 )
 from .environment import environment_successors
 from .run import (
@@ -19,6 +19,7 @@ __all__ = [
     "empty_queues", "environment_successors", "first_message",
     "freeze_queues", "initial_states", "input_choices",
     "iterate_snapshot_views", "last_message", "peer_successors",
-    "reachable_states", "rule_cache_info", "simulate", "snapshot_view",
+    "reachable_states", "rule_cache_delta", "rule_cache_info",
+    "simulate", "snapshot_view",
     "successors", "validate_lasso",
 ]

@@ -32,6 +32,7 @@ from typing import Iterable, Mapping, Sequence
 from ..errors import SpecificationError
 from ..fo.evaluator import answers
 from ..fo.instance import Instance, Rows
+from ..obs import PHASE_RULE_FIRE, phase
 from ..fo.schema import error_name, prev_name
 from ..fo.terms import Value, value_sort_key
 from ..spec.channels import (
@@ -107,7 +108,8 @@ class _RuleCache:
             self._answers.move_to_end(key)
             return cached
         self.misses += 1
-        result = answers(rule.body, rule.head, view, domain)
+        with phase(PHASE_RULE_FIRE):
+            result = answers(rule.body, rule.head, view, domain)
         self._answers[key] = result
         if len(self._answers) > self.maxsize:
             self._answers.popitem(last=False)
@@ -144,6 +146,29 @@ def clear_rule_cache() -> None:
 def rule_cache_info() -> dict:
     """Size/hit/miss/eviction counters of this process's rule cache."""
     return _RULE_CACHE.info()
+
+
+#: The monotonically increasing counters of :func:`rule_cache_info`
+#: (``size``/``maxsize`` are levels, not counters, and are excluded
+#: from deltas).
+RULE_CACHE_COUNTER_KEYS = ("hits", "misses", "evictions")
+
+
+def rule_cache_delta(before: Mapping[str, int]) -> dict[str, int]:
+    """Positive counter movement of the rule cache since *before*.
+
+    ``before`` is a prior :func:`rule_cache_info` snapshot.  Used to
+    attribute cache activity to one verification call or sweep task
+    (workers ship these deltas back to the driver); a cache clear in
+    between yields partial (never negative) numbers.
+    """
+    info = _RULE_CACHE.info()
+    out: dict[str, int] = {}
+    for key in RULE_CACHE_COUNTER_KEYS:
+        delta = info[key] - before.get(key, 0)
+        if delta > 0:
+            out[key] = delta
+    return out
 
 
 def _rule_answers(rule: Rule | None, view: Instance, domain: Domain

@@ -21,6 +21,7 @@ from typing import Iterable, Mapping, Sequence
 from ..fo.instance import Instance
 from ..fo.terms import Value, value_sort_key
 from ..ltlfo.formulas import LTLFOSentence
+from ..obs import PHASE_VALUATIONS, phase
 from ..spec.composition import Composition
 
 FRESH_PREFIX = "$v"
@@ -130,7 +131,8 @@ def canonical_valuations(
             extend(idx + 1, current, max(used_fresh, j + 1))
         current.pop(var, None)
 
-    extend(0, {}, 0)
+    with phase(PHASE_VALUATIONS):
+        extend(0, {}, 0)
     return results
 
 

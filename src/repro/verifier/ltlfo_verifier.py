@@ -31,7 +31,9 @@ from ..ib.checker import check_composition, check_sentence
 from ..errors import InputBoundednessError
 from ..ltlfo.formulas import LTLFOSentence
 from ..ltlfo.parser import parse_ltlfo
+from ..obs import diff_numeric, phase_counts, phase_seconds
 from ..runtime.run import Lasso
+from ..runtime.step import rule_cache_delta, rule_cache_info
 from ..spec.channels import ChannelSemantics, DECIDABLE_DEFAULT
 from ..spec.composition import Composition
 from .domain import (
@@ -170,6 +172,9 @@ def verify(composition: Composition,
         env_one_action_per_move=env_one_action_per_move,
     )
     result_counterexample: Counterexample | None = None
+    cache_before = rule_cache_info()
+    seconds_before = phase_seconds()
+    counts_before = phase_counts()
 
     with Stopwatch(stats):
         for valuation in valuations:
@@ -191,6 +196,10 @@ def verify(composition: Composition,
                 )
                 break
         stats.system_states = cache.states_expanded
+
+    stats.merge_phases(diff_numeric(phase_seconds(), seconds_before),
+                       diff_numeric(phase_counts(), counts_before))
+    stats.merge_rule_cache(rule_cache_delta(cache_before))
 
     return VerificationResult(
         satisfied=result_counterexample is None,

@@ -42,7 +42,7 @@ import pickle
 import time
 from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..fo.instance import Instance
@@ -50,8 +50,14 @@ from ..fo.terms import Value, Var, value_sort_key
 from ..ltl.formulas import land, latom, lfinally, lglobally, lnot
 from ..ltl.translate import ltl_to_buchi
 from ..ltlfo.formulas import LTLFOSentence
+from ..obs import (
+    PHASE_SWEEP, diff_numeric, instant, phase, phase_counts,
+    phase_seconds, reset_for_worker,
+)
 from ..runtime.run import Lasso
-from ..runtime.step import clear_rule_cache
+from ..runtime.step import (
+    clear_rule_cache, rule_cache_delta, rule_cache_info,
+)
 from ..spec.channels import ChannelSemantics
 from ..spec.composition import Composition
 from .atoms import OccursAtom, SnapshotEvaluator
@@ -139,7 +145,17 @@ class SweepTask:
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """What a worker reports back for one task."""
+    """What a worker reports back for one task.
+
+    Besides the verdict-relevant lasso and node counters, each outcome
+    carries the observability deltas accrued while executing the task
+    in its worker process: exclusive per-phase seconds/entry counts
+    (:mod:`repro.obs.phases`) and rule-cache counter movement
+    (:func:`repro.runtime.step.rule_cache_delta`).  These would
+    otherwise die with the pool worker; the driver merges them into
+    :class:`~repro.verifier.result.VerifierStats` so ``--stats`` and
+    ``repro profile`` report true totals under ``--workers > 1``.
+    """
 
     group: int
     order: int
@@ -153,6 +169,10 @@ class TaskOutcome:
     red_visited: int
     states_expanded: int
     wall_seconds: float
+    worker: str = ""
+    phase_seconds: dict = field(default_factory=dict)
+    phase_counts: dict = field(default_factory=dict)
+    rule_cache: dict = field(default_factory=dict)
 
 
 def freeze_valuation(valuation: Mapping[Var, Value]
@@ -241,6 +261,7 @@ _WORKER: dict = {}
 
 def _init_worker(payload_bytes: bytes, cancel) -> None:
     clear_rule_cache()
+    reset_for_worker()
     _WORKER["payload"] = pickle.loads(payload_bytes)
     _WORKER["cancel"] = cancel
     _WORKER["caches"] = {}
@@ -267,8 +288,15 @@ def _context_cache(payload: SweepPayload, ctx_idx: int,
     return cache
 
 
+def _worker_id() -> str:
+    return f"pid-{os.getpid()}"
+
+
 def _execute_task(payload: SweepPayload, task: SweepTask,
                   cache: TransitionCache, should_stop) -> TaskOutcome:
+    cache_before = rule_cache_info()
+    seconds_before = phase_seconds()
+    counts_before = phase_counts()
     t0 = time.perf_counter()
     try:
         outcome = check_one_valuation(
@@ -278,12 +306,23 @@ def _execute_task(payload: SweepPayload, task: SweepTask,
             should_stop=should_stop,
         )
     except SearchCancelled:
+        outcome = None
+    wall = time.perf_counter() - t0
+    obs_fields = dict(
+        worker=_worker_id(),
+        phase_seconds=diff_numeric(phase_seconds(), seconds_before),
+        phase_counts=diff_numeric(phase_counts(), counts_before),
+        rule_cache=rule_cache_delta(cache_before),
+    )
+    instant("task-done", group=task.group, order=task.order,
+            cancelled=outcome is None, wall_seconds=wall)
+    if outcome is None:
         return TaskOutcome(
             group=task.group, order=task.order, ctx=task.ctx,
             valuation=task.valuation, cancelled=True,
             lasso_prefix=None, lasso_cycle=None, nba_states=0,
             blue_visited=0, red_visited=0, states_expanded=0,
-            wall_seconds=time.perf_counter() - t0,
+            wall_seconds=wall, **obs_fields,
         )
     return TaskOutcome(
         group=task.group, order=task.order, ctx=task.ctx,
@@ -292,7 +331,7 @@ def _execute_task(payload: SweepPayload, task: SweepTask,
         nba_states=outcome.nba_states, blue_visited=outcome.blue_visited,
         red_visited=outcome.red_visited,
         states_expanded=cache.states_expanded,
-        wall_seconds=time.perf_counter() - t0,
+        wall_seconds=wall, **obs_fields,
     )
 
 
@@ -320,7 +359,7 @@ def _cancelled_outcome(task: SweepTask) -> TaskOutcome:
         valuation=task.valuation, cancelled=True,
         lasso_prefix=None, lasso_cycle=None, nba_states=0,
         blue_visited=0, red_visited=0, states_expanded=0,
-        wall_seconds=0.0,
+        wall_seconds=0.0, worker=_worker_id(),
     )
 
 
@@ -363,18 +402,19 @@ def run_sweep(payload: SweepPayload, tasks: Sequence[SweepTask],
     cannot help (``workers<=1``, fewer than two tasks) or cannot be used
     safely (payload fails to pickle, worker pool breaks).
     """
-    if workers <= 1 or len(tasks) <= 1:
-        return _run_sweep_sequential(payload, tasks), False
-    try:
-        payload_bytes = pickle.dumps(
-            payload, protocol=pickle.HIGHEST_PROTOCOL
-        )
-    except Exception:
-        return _run_sweep_sequential(payload, tasks), False
-    try:
-        return _run_sweep_pool(payload_bytes, tasks, workers), True
-    except BrokenProcessPool:
-        return _run_sweep_sequential(payload, tasks), False
+    with phase(PHASE_SWEEP):
+        if workers <= 1 or len(tasks) <= 1:
+            return _run_sweep_sequential(payload, tasks), False
+        try:
+            payload_bytes = pickle.dumps(
+                payload, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:
+            return _run_sweep_sequential(payload, tasks), False
+        try:
+            return _run_sweep_pool(payload_bytes, tasks, workers), True
+        except BrokenProcessPool:
+            return _run_sweep_sequential(payload, tasks), False
 
 
 def _run_sweep_pool(payload_bytes: bytes, tasks: Sequence[SweepTask],
@@ -430,6 +470,11 @@ def _aggregate_group(group: int, outcomes: Sequence[TaskOutcome],
     toward the headline stats -- exactly the tasks the sequential sweep
     would have run -- so ``product_nodes_visited`` matches ``workers=1``.
     Cancelled/extra tasks still appear in ``per_task`` for profiling.
+
+    The observability deltas (phase seconds, rule-cache counters) are
+    merged from *every* outcome, counted or not: they measure compute
+    that actually happened, including partial work of cancelled tasks,
+    so hit rates and phase breakdowns reflect the true cost of the run.
     """
     mine = sorted(
         (o for o in outcomes if o.group == group), key=lambda o: o.order
@@ -446,7 +491,15 @@ def _aggregate_group(group: int, outcomes: Sequence[TaskOutcome],
             product_nodes=outcome.blue_visited + outcome.red_visited,
             system_states=outcome.states_expanded,
             cancelled=not counted,
+            worker=outcome.worker,
         ))
+        stats.merge_phases(outcome.phase_seconds, outcome.phase_counts)
+        stats.merge_rule_cache(outcome.rule_cache)
+        if outcome.worker and (outcome.wall_seconds
+                               or outcome.phase_seconds
+                               or outcome.rule_cache):
+            stats.merge_worker(outcome.worker, outcome.wall_seconds,
+                               outcome.phase_seconds, outcome.rule_cache)
         if counted:
             stats.valuations_checked += 1
             stats.nba_states_total += outcome.nba_states

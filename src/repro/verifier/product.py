@@ -16,6 +16,7 @@ from ..errors import VerificationError
 from ..fo.instance import Instance
 from ..fo.terms import Value
 from ..ltl.buchi import BuchiAutomaton
+from ..obs import PHASE_EXPAND, counter, histogram, phase
 from ..spec.channels import ChannelSemantics
 from ..spec.composition import Composition
 from ..runtime.state import GlobalState
@@ -77,16 +78,22 @@ class TransitionCache:
                     f"({self.budget.max_system_states}) exceeded; "
                     "reduce the domain, queue bound, or composition size"
                 )
-            cached = tuple(
-                successors(
-                    self.composition, state, self.domain, self.semantics,
-                    include_environment=self.include_environment,
-                    env_max_nested_rows=self.env_max_nested_rows,
-                    env_one_action_per_move=self.env_one_action_per_move,
-                    env_value_domain=self.env_value_domain,
+            with phase(PHASE_EXPAND):
+                cached = tuple(
+                    successors(
+                        self.composition, state, self.domain,
+                        self.semantics,
+                        include_environment=self.include_environment,
+                        env_max_nested_rows=self.env_max_nested_rows,
+                        env_one_action_per_move=self.env_one_action_per_move,
+                        env_value_domain=self.env_value_domain,
+                    )
                 )
-            )
             self._successors[state] = cached
+            counter("product.states_expanded").inc()
+            histogram("product.branching_factor",
+                      boundaries=(1, 2, 4, 8, 16, 32, 64, 128, 256)
+                      ).observe(len(cached))
         return cached
 
     @property

@@ -22,6 +22,7 @@ class TaskStats:
     product_nodes: int
     system_states: int
     cancelled: bool = False
+    worker: str = ""
 
 
 @dataclass
@@ -33,7 +34,15 @@ class VerifierStats:
     defaults (``workers=1``, no per-task records).  ``task_seconds`` is
     the *sum* of per-task wall times (total compute), while
     ``wall_seconds`` is elapsed time -- their ratio is the effective
-    parallelism.
+    parallelism.  Cancelled tasks' partial compute is kept separately
+    in ``cancelled_task_seconds`` (it is real work spent, but must not
+    inflate the deterministic headline counters).
+
+    ``phase_seconds``/``phase_counts`` hold the per-phase self-time
+    breakdown (see :mod:`repro.obs.phases`) and ``rule_cache`` the
+    rule-firing memo deltas (hits/misses/evictions), aggregated across
+    worker processes for parallel runs; ``per_worker`` breaks both down
+    by worker id for the ``repro profile`` per-worker rows.
     """
 
     valuations_checked: int = 0
@@ -45,7 +54,12 @@ class VerifierStats:
     tasks_run: int = 0
     tasks_cancelled: int = 0
     task_seconds: float = 0.0
-    per_task: list = field(default_factory=list)
+    cancelled_task_seconds: float = 0.0
+    per_task: list[TaskStats] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    phase_counts: dict[str, int] = field(default_factory=dict)
+    rule_cache: dict[str, int] = field(default_factory=dict)
+    per_worker: dict[str, dict] = field(default_factory=dict)
 
     def merge_search(self, blue: int, red: int) -> None:
         self.product_nodes_visited += blue + red
@@ -54,9 +68,89 @@ class VerifierStats:
         self.per_task.append(task)
         if task.cancelled:
             self.tasks_cancelled += 1
+            self.cancelled_task_seconds += task.wall_seconds
             return
         self.tasks_run += 1
         self.task_seconds += task.wall_seconds
+
+    def merge_phases(self, seconds: Mapping[str, float],
+                     counts: Mapping[str, int]) -> None:
+        for name, value in seconds.items():
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + value
+            )
+        for name, value in counts.items():
+            self.phase_counts[name] = self.phase_counts.get(name, 0) + value
+
+    def merge_rule_cache(self, delta: Mapping[str, int]) -> None:
+        for key, value in delta.items():
+            self.rule_cache[key] = self.rule_cache.get(key, 0) + value
+
+    def merge_worker(self, worker: str, wall_seconds: float,
+                     phase_seconds: Mapping[str, float],
+                     rule_cache: Mapping[str, int]) -> None:
+        slot = self.per_worker.get(worker)
+        if slot is None:
+            slot = self.per_worker[worker] = {
+                "tasks": 0, "task_seconds": 0.0,
+                "phase_seconds": {}, "rule_cache": {},
+            }
+        slot["tasks"] += 1
+        slot["task_seconds"] += wall_seconds
+        for name, value in phase_seconds.items():
+            slot["phase_seconds"][name] = (
+                slot["phase_seconds"].get(name, 0.0) + value
+            )
+        for key, value in rule_cache.items():
+            slot["rule_cache"][key] = slot["rule_cache"].get(key, 0) + value
+
+    @property
+    def rule_cache_hit_rate(self) -> float | None:
+        """Aggregate hit rate of the rule-firing memo, if recorded."""
+        hits = self.rule_cache.get("hits", 0)
+        misses = self.rule_cache.get("misses", 0)
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
+    def to_dict(self) -> dict:
+        """JSON-able form for ``--metrics-json`` / benchmark snapshots."""
+        return {
+            "valuations_checked": self.valuations_checked,
+            "system_states": self.system_states,
+            "product_nodes_visited": self.product_nodes_visited,
+            "nba_states_total": self.nba_states_total,
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "tasks_run": self.tasks_run,
+            "tasks_cancelled": self.tasks_cancelled,
+            "task_seconds": self.task_seconds,
+            "cancelled_task_seconds": self.cancelled_task_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "phase_counts": dict(self.phase_counts),
+            "rule_cache": dict(self.rule_cache),
+            "per_worker": {
+                worker: {
+                    "tasks": slot["tasks"],
+                    "task_seconds": slot["task_seconds"],
+                    "phase_seconds": dict(slot["phase_seconds"]),
+                    "rule_cache": dict(slot["rule_cache"]),
+                }
+                for worker, slot in sorted(self.per_worker.items())
+            },
+            "per_task": [
+                {
+                    "group": t.group, "order": t.order,
+                    "wall_seconds": t.wall_seconds,
+                    "nba_states": t.nba_states,
+                    "product_nodes": t.product_nodes,
+                    "system_states": t.system_states,
+                    "cancelled": t.cancelled,
+                    "worker": t.worker,
+                }
+                for t in self.per_task
+            ],
+        }
 
 
 @dataclass(frozen=True)
@@ -120,6 +214,19 @@ class VerificationResult:
                 f"tasks: {self.stats.tasks_run} run + "
                 f"{self.stats.tasks_cancelled} cancelled, "
                 f"compute: {self.stats.task_seconds:.3f}s"
+            )
+            if self.stats.cancelled_task_seconds:
+                lines += (
+                    f" (+{self.stats.cancelled_task_seconds:.3f}s "
+                    "cancelled)"
+                )
+        hit_rate = self.stats.rule_cache_hit_rate
+        if hit_rate is not None:
+            cache = self.stats.rule_cache
+            lines += (
+                f"\n  rule cache: {cache.get('hits', 0)} hits / "
+                f"{cache.get('misses', 0)} misses "
+                f"({100 * hit_rate:.1f}% hit rate)"
             )
         return lines
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from ..errors import VerificationError
+from ..obs import PHASE_SEARCH, counter, phase
 from .product import ProductNode, ProductSystem
 
 #: How many node visits pass between ``should_stop`` polls.
@@ -98,6 +99,20 @@ def find_accepting_lasso(product: ProductSystem,
     cancellation for the parallel sweep engine).
     """
     stats = SearchStats()
+    try:
+        with phase(PHASE_SEARCH):
+            return _blue_dfs(product, stats, max_nodes, should_stop)
+    finally:
+        counter("search.blue_visited").inc(stats.blue_visited)
+        counter("search.red_visited").inc(stats.red_visited)
+        counter("search.runs").inc()
+
+
+def _blue_dfs(product: ProductSystem,
+              stats: SearchStats,
+              max_nodes: int | None = None,
+              should_stop: Callable[[], bool] | None = None
+              ) -> tuple[LassoNodes | None, SearchStats]:
     limit = max_nodes or product.cache.budget.max_product_nodes
     cyan: set = set()
     blue: set = set()
@@ -145,6 +160,7 @@ def find_accepting_lasso(product: ProductSystem,
                     anchor = path.index(target)
                     prefix = tuple(path[:anchor])
                     cycle = tuple(path[anchor:]) + tuple(red_path[1:-1])
+                    counter("search.lassos_found").inc()
                     return LassoNodes(prefix, cycle), stats
             cyan.discard(node)
             blue.add(node)

@@ -1,5 +1,6 @@
 """Tests for the command-line interface (python -m repro)."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -134,3 +135,104 @@ class TestAuctionSpecProperties:
         spec = str(Path(__file__).parent.parent / "examples" / "specs"
                    / "auction.dws")
         assert main(["verify", spec]) == 0
+
+
+@pytest.mark.obs
+class TestObservabilityFlags:
+    def test_verify_writes_metrics_json(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        code = main(["verify", spec_file, "--property", "safety",
+                     "--metrics-json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.metrics/1"
+        assert payload["command"] == "verify"
+        assert payload["registry"]["schema"] == "repro.metrics/1"
+        (entry,) = payload["results"]
+        assert entry["property"] == "safety"
+        assert entry["verdict"] == "SATISFIED"
+        assert entry["stats"]["phase_seconds"]
+        assert entry["stats"]["rule_cache"].get("misses", 0) > 0
+
+    def test_verify_writes_trace_jsonl(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        code = main(["verify", spec_file, "--property", "safety",
+                     "--trace", str(out)])
+        assert code == 0
+        events = [json.loads(line)
+                  for line in out.read_text().splitlines() if line]
+        assert events[0]["name"] == "trace-start"
+        names = {ev["name"] for ev in events}
+        assert {"search", "expand"} <= names
+        # tracing is switched back off after main() returns
+        from repro.obs import tracing_enabled
+        assert not tracing_enabled()
+
+    def test_check_accepts_metrics_json(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["check", spec_file,
+                     "--metrics-json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["command"] == "check"
+        assert payload["results"][0]["violations"] == []
+
+    def test_simulate_accepts_trace(self, spec_file, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert main(["simulate", spec_file, "--steps", "3",
+                     "--trace", str(out)]) == 0
+        assert out.exists()
+
+
+class TestProfileCommand:
+    def test_profile_spec_file(self, spec_file, capsys):
+        code = main(["profile", spec_file, "--property", "safety"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "safety: SATISFIED" in out
+        assert "total (wall)" in out
+        assert "(other)" in out
+        assert "search" in out
+
+    def test_profile_library_target(self, capsys):
+        code = main(["profile", "loan",
+                     "--property", "bank_policy_pointwise"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bank_policy_pointwise: SATISFIED" in out
+        assert "rule cache:" in out
+
+    def test_profile_phase_rows_sum_to_wall(self, spec_file, capsys):
+        assert main(["profile", spec_file, "--property", "safety"]) == 0
+        out = capsys.readouterr().out
+        import re
+        rows = {}
+        for line in out.splitlines():
+            m = re.match(r"\s+(.+?)\s+(?:\d+|-)?\s*(\d+\.\d+)s\s+"
+                         r"\d+\.\d+%\s*$", line)
+            if m:
+                rows[m.group(1).strip()] = float(m.group(2))
+        wall = rows.pop("total (wall)")
+        assert rows, "no phase rows parsed"
+        # rows are exclusive self-times plus the uninstrumented
+        # remainder, so up to per-row rounding they sum to the wall
+        assert sum(rows.values()) == pytest.approx(
+            wall, abs=0.002 * (len(rows) + 1))
+
+    def test_profile_unknown_library(self, capsys):
+        assert main(["profile", "nosuchlib"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_workers_prints_per_worker_rows(self, capsys,
+                                                    tmp_path):
+        out_json = tmp_path / "m.json"
+        code = main(["profile", "loan", "--workers", "2",
+                     "--property", "letter_needs_application",
+                     "--metrics-json", str(out_json)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-worker breakdown" in out
+        assert "pid-" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["command"] == "profile"
+        (entry,) = payload["results"]
+        assert entry["stats"]["per_worker"]
