@@ -1,0 +1,116 @@
+"""Analyzer pass 4: channel discipline.
+
+Re-checks the Definition 2.5 wiring through
+:func:`repro.spec.validate.collect_channel_issues` (on a *built*
+composition only the non-fatal findings -- dangling endpoints -- can
+still appear; the fatal ones are reported by the pre-build structural
+scan in :mod:`repro.analysis.lint`), then adds two analyses the builder
+does not perform:
+
+* ``DWV306`` -- a flat send rule whose head joins against a database or
+  state relation, so a single firing may produce several candidate
+  tuples.  Harmless under the default nondeterministic-send semantics,
+  but under Theorem 3.8's deterministic discipline the send raises
+  ``error_Q`` and delivers nothing;
+* ``DWV307`` -- a channel whose receiver never mentions the in-queue in
+  any rule.  By Definition 2.4 an unmentioned queue is never dequeued,
+  so with a k-bounded queue every message after the first k is provably
+  dropped.
+"""
+
+from __future__ import annotations
+
+from ..fo import formulas as fo
+from ..fo.terms import Var
+from ..spec.channels import FlatSendDiscipline
+from ..spec.rules import RuleKind
+from ..spec.validate import collect_channel_issues
+from .diagnostics import Diagnostic, make
+from .passes import AnalysisContext
+
+
+def _channel_issue_diagnostics(ctx: AnalysisContext) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for issue in collect_channel_issues(ctx.composition.peers):
+        out.append(make(
+            issue.code, issue.message,
+            where=f"queue {issue.queue}",
+            peer=issue.peers[0] if issue.peers else None,
+            subject=issue.queue,
+        ))
+    return out
+
+
+def _multi_tuple_sends(ctx: AnalysisContext) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    deterministic = (
+        ctx.semantics.flat_send is FlatSendDiscipline.DETERMINISTIC_ERROR
+    )
+    for peer in ctx.composition.peers:
+        flat_out = {q.name for q in peer.out_queues if not q.nested}
+        wide = {s.name for s in peer.database + peer.states}
+        for rule in peer.rules_of_kind(RuleKind.SEND):
+            if rule.target not in flat_out or not rule.head:
+                continue
+            head = set(rule.head)
+            joins = sorted(
+                a.rel for a in fo.atoms(rule.body)
+                if a.rel in wide
+                and head & {t for t in a.terms if isinstance(t, Var)}
+            )
+            if joins:
+                severity = None  # catalog default (note)
+                message = (
+                    "flat send head joins against "
+                    f"{', '.join(joins)}; one firing may yield several "
+                    "candidate tuples"
+                )
+                if deterministic:
+                    message += (
+                        " (under the configured deterministic-send "
+                        "discipline this raises error_"
+                        f"{rule.target} and sends nothing)"
+                    )
+                out.append(make(
+                    "DWV306", message, severity=severity,
+                    where=f"peer {peer.name}, send rule for "
+                          f"{rule.target}",
+                    peer=peer.name,
+                    rule=f"send rule for {rule.target}",
+                    subject=str(rule),
+                ))
+    return out
+
+
+def _never_consumed(ctx: AnalysisContext) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    consumed = {
+        peer.name: peer.consumed_in_queues()
+        for peer in ctx.composition.peers
+    }
+    bound = ctx.semantics.queue_bound
+    for chan in ctx.composition.channels:
+        if chan.receiver is None:
+            continue  # the environment consumes at will (Section 5)
+        if chan.name in consumed[chan.receiver]:
+            continue
+        detail = (
+            f"every message beyond the queue bound ({bound}) is "
+            "provably dropped" if bound is not None
+            else "the queue grows without bound"
+        )
+        out.append(make(
+            "DWV307",
+            f"receiver {chan.receiver!r} never mentions in-queue "
+            f"{chan.name!r}, so it is never dequeued; {detail}",
+            where=f"queue {chan.name}", peer=chan.receiver,
+            subject=chan.name,
+        ))
+    return out
+
+
+def channels_pass(ctx: AnalysisContext) -> list[Diagnostic]:
+    out = _channel_issue_diagnostics(ctx)
+    out.extend(_multi_tuple_sends(ctx))
+    out.extend(_never_consumed(ctx))
+    return out

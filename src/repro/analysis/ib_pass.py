@@ -1,0 +1,25 @@
+"""Analyzer pass 1: input-boundedness (Section 3.1).
+
+A thin adapter: the actual checker lives in :mod:`repro.ib.checker`;
+this pass runs it over every peer and every parsed property and lifts
+its :class:`~repro.ib.report.Violation` records into the shared
+:class:`~repro.analysis.diagnostics.Diagnostic` type, so ``repro lint``
+and ``repro check`` report the identical findings.
+"""
+
+from __future__ import annotations
+
+from ..ib.checker import check_composition, check_sentence
+from ..ib.report import violations_to_diagnostics
+from .diagnostics import Diagnostic
+from .passes import AnalysisContext
+
+
+def ib_pass(ctx: AnalysisContext) -> list[Diagnostic]:
+    violations = check_composition(ctx.composition, strict=ctx.strict)
+    for name, sentence in sorted(ctx.sentences.items()):
+        violations.extend(check_sentence(
+            sentence, ctx.composition.schema,
+            where=f"property {name}", strict=ctx.strict,
+        ))
+    return violations_to_diagnostics(violations)

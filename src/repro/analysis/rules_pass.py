@@ -1,0 +1,217 @@
+"""Analyzer pass 2: dead and shadowed rules.
+
+Detected by a *sound* propositional abstraction of rule bodies:
+
+* every relational atom becomes one proposition keyed by its syntactic
+  rendering (two occurrences of the same atom share a proposition);
+* equality atoms simplify to true (identical terms) or false (distinct
+  constants), otherwise they become propositions;
+* every *maximal quantified subformula* becomes one opaque proposition.
+  The abstraction never descends into quantifiers: doing so would be
+  unsound -- ``(exists x: p(x)) & (exists x: ~p(x))`` is satisfiable
+  although its naive propositional skeleton is not.
+
+Any FO model induces a truth assignment over these propositions, so
+propositional unsatisfiability implies FO unsatisfiability, and
+``a & ~b`` propositionally unsat implies ``a -> b``.  The converse does
+not hold: the pass under-reports, never over-reports.  Satisfiability is
+decided by enumeration, capped at :data:`MAX_PROPS` distinct
+propositions (larger bodies are conservatively assumed satisfiable).
+
+Findings:
+
+* ``DWV101`` -- a rule body that is propositionally unsatisfiable (a
+  literal ``false`` body is the idiomatic "never fires" and is skipped);
+* ``DWV102`` -- an insert/delete pair for the same state where one body
+  implies the other: under the no-op conflict semantics of
+  Definition 2.3 (a tuple in both the insert and the delete set keeps
+  its old value) the implied rule can never have an effect;
+* ``DWV103`` -- a disjunct implied by an earlier disjunct of the same
+  ``Or``; the later branch adds nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..errors import FormulaError
+from ..fo import formulas as fo
+from ..fo.formulas import substitute
+from ..spec.rules import Rule, RuleKind
+from .diagnostics import Diagnostic, make
+from .passes import AnalysisContext
+
+#: Enumeration cap: bodies inducing more propositions are assumed sat.
+MAX_PROPS = 16
+
+# Skeletons are nested tuples: ("true",), ("false",), ("prop", key),
+# ("not", s), ("and", s...), ("or", s...).
+
+
+def abstract(formula: fo.Formula) -> tuple:
+    """The propositional skeleton of *formula* (see module docstring)."""
+    if isinstance(formula, fo.TrueF):
+        return ("true",)
+    if isinstance(formula, fo.FalseF):
+        return ("false",)
+    if isinstance(formula, fo.Atom):
+        return ("prop", str(formula))
+    if isinstance(formula, fo.Eq):
+        if formula.left == formula.right:
+            return ("true",)
+        from ..fo.terms import Const
+        if (isinstance(formula.left, Const)
+                and isinstance(formula.right, Const)):
+            return ("false",)
+        return ("prop", str(formula))
+    if isinstance(formula, fo.Not):
+        return ("not", abstract(formula.body))
+    if isinstance(formula, fo.And):
+        return ("and",) + tuple(abstract(c) for c in formula.children)
+    if isinstance(formula, fo.Or):
+        return ("or",) + tuple(abstract(c) for c in formula.children)
+    if isinstance(formula, fo.Implies):
+        return ("or", ("not", abstract(formula.antecedent)),
+                abstract(formula.consequent))
+    # maximal quantified subformulas stay opaque (soundness)
+    return ("prop", str(formula))
+
+
+def _props(skeleton: tuple) -> set[str]:
+    head = skeleton[0]
+    if head == "prop":
+        return {skeleton[1]}
+    if head in ("true", "false"):
+        return set()
+    out: set[str] = set()
+    for child in skeleton[1:]:
+        out |= _props(child)
+    return out
+
+
+def _eval(skeleton: tuple, assignment: dict[str, bool]) -> bool:
+    head = skeleton[0]
+    if head == "true":
+        return True
+    if head == "false":
+        return False
+    if head == "prop":
+        return assignment[skeleton[1]]
+    if head == "not":
+        return not _eval(skeleton[1], assignment)
+    if head == "and":
+        return all(_eval(c, assignment) for c in skeleton[1:])
+    return any(_eval(c, assignment) for c in skeleton[1:])  # "or"
+
+
+def _assignments(props: list[str]) -> Iterator[dict[str, bool]]:
+    for bits in itertools.product((False, True), repeat=len(props)):
+        yield dict(zip(props, bits))
+
+
+def satisfiable(skeleton: tuple) -> bool:
+    """Propositional satisfiability; True (= unknown) beyond the cap."""
+    props = sorted(_props(skeleton))
+    if len(props) > MAX_PROPS:
+        return True
+    return any(_eval(skeleton, a) for a in _assignments(props))
+
+
+def implies(a: tuple, b: tuple) -> bool:
+    """Propositional ``a -> b`` (False when unknown)."""
+    counter = ("and", a, ("not", b))
+    props = sorted(_props(counter))
+    if len(props) > MAX_PROPS:
+        return False
+    return not any(_eval(counter, x) for x in _assignments(props))
+
+
+def _where(peer_name: str, rule: Rule) -> str:
+    return f"peer {peer_name}, {rule.kind.value} rule for {rule.target}"
+
+
+def _rule_label(rule: Rule) -> str:
+    return f"{rule.kind.value} rule for {rule.target}"
+
+
+def _aligned_body(rule: Rule, onto: Rule) -> fo.Formula | None:
+    """*rule*'s body with its head variables renamed to *onto*'s."""
+    mapping = {
+        rv: ov for rv, ov in zip(rule.head, onto.head) if rv != ov
+    }
+    if not mapping:
+        return rule.body
+    try:
+        return substitute(rule.body, mapping)
+    except FormulaError:
+        return None  # renaming captured by a quantifier: skip the check
+
+
+def _check_dead(peer_name: str, rule: Rule,
+                out: list[Diagnostic]) -> None:
+    if isinstance(rule.body, fo.FalseF):
+        return  # the idiomatic explicit "never fires"
+    if not satisfiable(abstract(rule.body)):
+        out.append(make(
+            "DWV101", "rule body is propositionally unsatisfiable",
+            where=_where(peer_name, rule), peer=peer_name,
+            rule=_rule_label(rule), subject=str(rule),
+        ))
+
+
+def _check_insert_delete(peer_name: str, insert: Rule, delete: Rule,
+                         out: list[Diagnostic]) -> None:
+    aligned = _aligned_body(delete, insert)
+    if aligned is None:
+        return
+    ins_sk = abstract(insert.body)
+    del_sk = abstract(aligned)
+    if not satisfiable(ins_sk) or not satisfiable(del_sk):
+        return  # dead rules are DWV101's finding
+    pairs = [(insert, ins_sk, del_sk, delete),
+             (delete, del_sk, ins_sk, insert)]
+    for shadowed, sk_a, sk_b, other in pairs:
+        if implies(sk_a, sk_b):
+            out.append(make(
+                "DWV102",
+                f"whenever this rule fires, the {other.kind.value} rule "
+                f"for {other.target!r} fires on the same tuples, so the "
+                "conflict resolves to a no-op",
+                where=_where(peer_name, shadowed), peer=peer_name,
+                rule=_rule_label(shadowed), subject=str(shadowed),
+            ))
+
+
+def _check_shadowed_disjuncts(peer_name: str, rule: Rule,
+                              out: list[Diagnostic]) -> None:
+    for node in fo.walk(rule.body):
+        if not isinstance(node, fo.Or):
+            continue
+        skeletons = [abstract(c) for c in node.children]
+        for j in range(1, len(skeletons)):
+            for i in range(j):
+                if implies(skeletons[j], skeletons[i]):
+                    out.append(make(
+                        "DWV103",
+                        f"disjunct {j + 1} is implied by disjunct "
+                        f"{i + 1} of the same disjunction",
+                        where=_where(peer_name, rule), peer=peer_name,
+                        rule=_rule_label(rule),
+                        subject=str(node.children[j]),
+                    ))
+                    break
+
+
+def rules_pass(ctx: AnalysisContext) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for peer in ctx.composition.peers:
+        inserts = {r.target: r for r in peer.rules_of_kind(RuleKind.INSERT)}
+        deletes = {r.target: r for r in peer.rules_of_kind(RuleKind.DELETE)}
+        for rule in peer.rules:
+            _check_dead(peer.name, rule, out)
+            _check_shadowed_disjuncts(peer.name, rule, out)
+        for target in sorted(set(inserts) & set(deletes)):
+            _check_insert_delete(peer.name, inserts[target],
+                                 deletes[target], out)
+    return out

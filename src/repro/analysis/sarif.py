@@ -1,0 +1,104 @@
+"""SARIF 2.1.0 output for ``repro lint``.
+
+Emits the minimal static-analysis interchange document that GitHub code
+scanning and SARIF viewers accept: one run, one driver
+(``repro-lint``), one reporting rule per DWV code actually used, and
+one result per diagnostic.  Peer/rule paths are carried as logical
+locations (``.dws`` documents have no stable line numbers after
+continuation joining, so physical regions are limited to the artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .diagnostics import CODES, Diagnostic, Severity, sort_key
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "note",
+}
+
+
+def _rule(code: str) -> dict:
+    info = CODES[code]
+    rule: dict = {
+        "id": code,
+        "shortDescription": {"text": info.title},
+        "defaultConfiguration": {"level": _LEVEL[info.severity]},
+        "properties": {"paperRef": info.ref},
+    }
+    if info.hint:
+        rule["help"] = {"text": info.hint}
+    return rule
+
+
+def _result(diag: Diagnostic, rule_index: dict[str, int],
+            artifact_uri: str | None) -> dict:
+    text = diag.message
+    if diag.subject:
+        text += f": {diag.subject}"
+    result: dict = {
+        "ruleId": diag.code,
+        "ruleIndex": rule_index[diag.code],
+        "level": _LEVEL[diag.severity],
+        "message": {"text": text},
+    }
+    location: dict = {}
+    if artifact_uri:
+        location["physicalLocation"] = {
+            "artifactLocation": {"uri": artifact_uri},
+        }
+    logical = []
+    if diag.peer:
+        logical.append({"name": diag.peer, "kind": "namespace"})
+    if diag.rule:
+        logical.append({
+            "name": diag.rule, "kind": "function",
+            "fullyQualifiedName": diag.where or diag.rule,
+        })
+    elif diag.where:
+        logical.append({"name": diag.where, "kind": "member"})
+    if logical:
+        location["logicalLocations"] = logical
+    if location:
+        result["locations"] = [location]
+    if diag.hint:
+        result.setdefault("properties", {})["hint"] = diag.hint
+    return result
+
+
+def to_sarif(diagnostics: Sequence[Diagnostic],
+             artifact_uri: str | None = None) -> str:
+    """Render *diagnostics* as a SARIF 2.1.0 JSON document."""
+    ordered = sorted(diagnostics, key=sort_key)
+    used_codes = sorted({d.code for d in ordered})
+    rule_index = {code: i for i, code in enumerate(used_codes)}
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "informationUri":
+                    "https://doi.org/10.1145/1142351.1142364",
+                "rules": [_rule(code) for code in used_codes],
+            },
+        },
+        "results": [
+            _result(d, rule_index, artifact_uri) for d in ordered
+        ],
+    }
+    if artifact_uri:
+        run["artifacts"] = [{"location": {"uri": artifact_uri}}]
+    return json.dumps({
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }, indent=2)

@@ -7,6 +7,8 @@ Usage::
                            [--counterexample] [--workers N] [--stats]
                            [--trace FILE.jsonl] [--metrics-json FILE]
     python -m repro check SPEC.dws            # input-boundedness only
+    python -m repro lint SPEC.dws|LIBRARY [--format text|json|sarif]
+                         [--output FILE] [--strict]
     python -m repro simulate SPEC.dws [--steps N] [--seed S]
     python -m repro profile SPEC.dws|LIBRARY [--workers N] ...
 
@@ -17,6 +19,16 @@ sweep out across N processes (``--workers 0``: all cores; default: the
 ``REPRO_WORKERS`` environment variable, else sequential); ``--stats``
 prints the full per-property statistics including task counts, compute
 time, and rule-cache hit rates of the parallel sweep.
+
+``lint`` runs the full static analyzer (input-boundedness, dead and
+shadowed rules, reachability, channel discipline, and the decidability
+classifier; see :mod:`repro.analysis`) over a ``.dws`` document or a
+library example and reports ``DWV***`` diagnostics as text, JSON, or
+SARIF 2.1.0.  Exit status: 0 clean (notes/warnings allowed), 1 when
+error-severity diagnostics exist (with ``--strict``: warnings too),
+2 when the document cannot be parsed at all.  ``verify`` consults the
+same classifier pre-flight and warns on stderr before searching an
+undecidable configuration.
 
 Every command accepts ``--trace FILE.jsonl`` (structured span/instant
 events, see :mod:`repro.obs.trace`) and ``--metrics-json FILE`` (a
@@ -114,6 +126,17 @@ def cmd_verify(args: argparse.Namespace) -> int:
               "(add 'property <name>: <LTL-FO>')", file=sys.stderr)
         return 2
 
+    # pre-flight: warn (never refuse) when the configuration falls on an
+    # undecidable row of the paper's map -- the search stays sound for
+    # bug finding, but exhausting it proves nothing in general.
+    from .verifier import preflight
+    classification = preflight(composition, list(properties.values()),
+                               _semantics(args))
+    if not classification.decidable:
+        print(f"warning: {classification.describe()}\n"
+              "warning: exhaustive search is not a proof here; "
+              "run `repro lint` for details", file=sys.stderr)
+
     domain = None
     if args.fresh is not None:
         domain = verification_domain(composition, [], databases,
@@ -152,6 +175,75 @@ def cmd_check(args: argparse.Namespace) -> int:
         "violations": [str(v) for v in violations],
     }])
     return 0 if not violations else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        count_by_severity, lint_composition, lint_text, render_report,
+        to_json, to_sarif, Severity,
+    )
+    from .ltlfo.parser import parse_ltlfo
+
+    target = args.spec
+    semantics = _semantics(args)
+    if target in PROFILE_LIBRARIES:
+        composition, _databases, properties, _candidates = (
+            _library_target(target)
+        )
+        sentences = {
+            name: (parse_ltlfo(prop, composition.schema)
+                   if isinstance(prop, str) else prop)
+            for name, prop in properties.items()
+        }
+        report = lint_composition(composition, sentences, semantics)
+        artifact = None
+    else:
+        if not Path(target).is_file():
+            raise ReproError(
+                f"lint target {target!r} is neither a spec file nor a "
+                f"library example ({', '.join(PROFILE_LIBRARIES)})"
+            )
+        report = lint_text(Path(target).read_text(), semantics=semantics)
+        artifact = target
+
+    counts = count_by_severity(report.diagnostics)
+    classifications = {
+        name: c.describe()
+        for name, c in report.classifications.items()
+    }
+    if args.format == "sarif":
+        rendered = to_sarif(report.diagnostics, artifact_uri=artifact)
+    elif args.format == "json":
+        rendered = to_json(report.diagnostics, extra={
+            "target": target,
+            "passes": report.passes_run,
+            "classifications": classifications,
+        })
+    else:
+        lines = [render_report(report.diagnostics)]
+        lines.append(
+            f"{counts['error']} error(s), {counts['warning']} "
+            f"warning(s), {counts['note']} note(s) "
+            f"[passes: {', '.join(report.passes_run)}]"
+        )
+        for name, described in sorted(classifications.items()):
+            lines.append(f"{name}: {described}")
+        rendered = "\n".join(lines)
+
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+    else:
+        print(rendered)
+
+    _write_metrics_json(args.metrics_json, "lint", [{
+        "target": target, "counts": counts,
+        "codes": report.codes(), "passes": report.passes_run,
+    }])
+    failing = report.has_errors or (
+        args.strict and any(d.severity is Severity.WARNING
+                            for d in report.diagnostics)
+    )
+    return 1 if failing else 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -425,6 +517,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="input-boundedness check only")
     common(p_check)
     p_check.set_defaults(func=cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the static analyzer and decidability classifier",
+    )
+    common(p_lint,
+           spec_help="path to a .dws specification, or a library "
+                     f"example ({', '.join(PROFILE_LIBRARIES)})")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="report format (default: text)")
+    p_lint.add_argument("--output", metavar="FILE", default=None,
+                        help="write the report to FILE instead of stdout")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit 1 on warnings too, not just errors")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_sim = sub.add_parser("simulate", help="print one random run")
     common(p_sim)

@@ -98,6 +98,7 @@ def _check_quantifier(node: fo.Exists | fo.Forall, schema: Schema,
                 where, str(node),
                 "universal quantifier must have the guarded form "
                 "forall x̄ (alpha -> phi)",
+                code="DWV002",
             ))
             return
         candidates = _flatten_conj(node.body.antecedent)
@@ -115,6 +116,7 @@ def _check_quantifier(node: fo.Exists | fo.Forall, schema: Schema,
             where, str(node),
             "no input/prev-input/flat-queue guard atom covers the "
             f"quantified variables {sorted(quantified)}",
+            code="DWV001",
         ))
         return
 
@@ -131,6 +133,7 @@ def _check_quantifier(node: fo.Exists | fo.Forall, schema: Schema,
                 where, str(node),
                 f"quantified variables {sorted(clash)} occur in "
                 f"{sym.kind.value} atom {sub}",
+                code="DWV003",
             ))
 
 
@@ -153,6 +156,7 @@ def check_exists_star_rule(rule: Rule, schema: Schema,
         out.append(Violation(
             where, str(rule.body),
             "input rules and flat-send rules must be exists* FO",
+            code="DWV004",
         ))
     for a in fo.atoms(rule.body):
         sym = schema.get(a.rel)
@@ -165,6 +169,7 @@ def check_exists_star_rule(rule: Rule, schema: Schema,
                 where, str(a),
                 f"{sym.kind.value} atom must be ground in input/flat-send "
                 "rules",
+                code="DWV005",
             ))
     return out
 

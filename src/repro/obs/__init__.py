@@ -25,9 +25,10 @@ from .metrics import (
     REGISTRY, counter, diff_numeric, gauge, histogram, merge_numeric,
 )
 from .phases import (
-    PHASE_EXPAND, PHASE_FO_EVAL, PHASE_IB_CHECK, PHASE_RULE_FIRE,
-    PHASE_SEARCH, PHASE_SWEEP, PHASE_TRANSLATE, PHASE_VALUATIONS, phase,
-    phase_counts, phase_seconds, phase_snapshot,
+    LINT_PHASE_PREFIX, PHASE_EXPAND, PHASE_FO_EVAL, PHASE_IB_CHECK,
+    PHASE_LINT, PHASE_RULE_FIRE, PHASE_SEARCH, PHASE_SWEEP,
+    PHASE_TRANSLATE, PHASE_VALUATIONS, lint_phase, phase, phase_counts,
+    phase_seconds, phase_snapshot,
 )
 from .trace import (
     configure_tracing, instant, trace_path, tracing_enabled,
@@ -50,10 +51,12 @@ def reset_for_worker() -> None:
 
 __all__ = [
     "Counter", "DEFAULT_TIME_BUCKETS", "Gauge", "Histogram",
-    "MetricsRegistry", "PHASE_EXPAND", "PHASE_FO_EVAL", "PHASE_IB_CHECK",
-    "PHASE_RULE_FIRE", "PHASE_SEARCH", "PHASE_SWEEP", "PHASE_TRANSLATE",
-    "PHASE_VALUATIONS", "REGISTRY", "configure_tracing", "counter", "diff_numeric", "gauge",
-    "histogram", "instant", "merge_numeric", "phase", "phase_counts",
-    "phase_seconds", "phase_snapshot", "reset_for_worker", "trace_path",
+    "LINT_PHASE_PREFIX", "MetricsRegistry", "PHASE_EXPAND",
+    "PHASE_FO_EVAL", "PHASE_IB_CHECK", "PHASE_LINT", "PHASE_RULE_FIRE",
+    "PHASE_SEARCH", "PHASE_SWEEP", "PHASE_TRANSLATE",
+    "PHASE_VALUATIONS", "REGISTRY", "configure_tracing", "counter",
+    "diff_numeric", "gauge", "histogram", "instant", "lint_phase",
+    "merge_numeric", "phase", "phase_counts", "phase_seconds",
+    "phase_snapshot", "reset_for_worker", "trace_path",
     "tracing_enabled",
 ]

@@ -36,6 +36,15 @@ PHASE_EXPAND = "expand"          #: system-state successor expansion
 PHASE_RULE_FIRE = "rule-fire"    #: rule firing (self: cache lookup/key cost)
 PHASE_FO_EVAL = "fo-eval"        #: FO formula evaluation (sat-set computation)
 PHASE_SWEEP = "sweep"            #: driver side of the valuation sweep
+PHASE_LINT = "lint"              #: static analyzer driver (repro lint)
+
+#: Per-pass lint phases are named dynamically as ``lint:<pass-name>``.
+LINT_PHASE_PREFIX = "lint:"
+
+
+def lint_phase(pass_name: str) -> str:
+    """The phase name timing one static-analysis pass."""
+    return LINT_PHASE_PREFIX + pass_name
 
 _local = threading.local()
 

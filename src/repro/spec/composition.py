@@ -34,6 +34,7 @@ from ..fo.schema import (
 from ..fo.terms import Value
 from .peer import Peer
 from .rules import Rule
+from .validate import validate_composition_channels
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,22 +88,16 @@ class Composition:
     # -- wiring ---------------------------------------------------------
 
     def _wire_channels(self) -> tuple[Channel, ...]:
+        # Definition 2.5 channel validation is shared with `repro lint`
+        # (see spec.validate.collect_channel_issues).
+        validate_composition_channels(self.peers)
+
         senders: dict[str, tuple[str, RelationSymbol]] = {}
         receivers: dict[str, tuple[str, RelationSymbol]] = {}
         for peer in self.peers:
             for q in peer.out_queues:
-                if q.name in senders:
-                    raise SpecificationError(
-                        f"queue {q.name!r} is an out-queue of both "
-                        f"{senders[q.name][0]!r} and {peer.name!r}"
-                    )
                 senders[q.name] = (peer.name, q)
             for q in peer.in_queues:
-                if q.name in receivers:
-                    raise SpecificationError(
-                        f"queue {q.name!r} is an in-queue of both "
-                        f"{receivers[q.name][0]!r} and {peer.name!r}"
-                    )
                 receivers[q.name] = (peer.name, q)
 
         channels: list[Channel] = []
@@ -111,20 +106,7 @@ class Composition:
             in_end = receivers.get(name)
             if out_end and in_end:
                 s_peer, s_sym = out_end
-                r_peer, r_sym = in_end
-                if s_peer == r_peer:
-                    raise SpecificationError(
-                        f"queue {name!r}: self-channels (sender == receiver "
-                        f"== {s_peer!r}) are not supported; route through a "
-                        "relay peer instead"
-                    )
-                if s_sym.arity != r_sym.arity or s_sym.nested != r_sym.nested:
-                    raise SpecificationError(
-                        f"queue {name!r}: endpoint mismatch between "
-                        f"{s_peer!r} ({s_sym.arity}, nested={s_sym.nested}) "
-                        f"and {r_peer!r} ({r_sym.arity}, "
-                        f"nested={r_sym.nested})"
-                    )
+                r_peer, _r_sym = in_end
                 channels.append(Channel(name, s_sym.arity, s_sym.nested,
                                         s_peer, r_peer))
             elif out_end:

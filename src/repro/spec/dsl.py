@@ -41,6 +41,7 @@ a whole document; :func:`load_databases` extracts the ``database`` blocks.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass, field
 
 from ..errors import ParseError, SpecificationError
 from ..fo.instance import Instance
@@ -282,6 +283,128 @@ def load_properties(text: str) -> dict[str, str]:
             out[name] = body.strip()
         i += 1
     return out
+
+
+# -- raw document IR (pre-build structural scanning) -------------------------
+#
+# ``repro lint`` needs to report structural mistakes -- a send into an
+# undeclared queue, a head arity mismatch -- as diagnostics rather than
+# crash in PeerBuilder.  scan_document() re-reads the surface syntax
+# into a declaration/rule IR without building peers, so the analyzer can
+# check structure first and only attempt the full build when it is safe.
+
+
+@dataclass(frozen=True, slots=True)
+class RawDecl:
+    """One relation declaration as written: ``kind name/arity``."""
+
+    kind: str          # database | state | input | action | in | out
+    name: str
+    arity: int
+    nested: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class RawRule:
+    """One rule as written: ``kind target(head) <- body``."""
+
+    kind: str          # input | insert | delete | action | send
+    target: str
+    head: tuple[str, ...]
+    body: str
+
+
+@dataclass(frozen=True, slots=True)
+class RawPeer:
+    """One ``peer`` block, declarations and rules in document order."""
+
+    name: str
+    decls: tuple[RawDecl, ...]
+    rules: tuple[RawRule, ...]
+
+    def decl(self, name: str) -> RawDecl | None:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class RawDocument:
+    """The scanned document: peers plus property names (bodies unparsed)."""
+
+    peers: tuple[RawPeer, ...] = ()
+    properties: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _scan_peer_block(name: str, lines: list[str]) -> RawPeer:
+    decls: list[RawDecl] = []
+    rules: list[RawRule] = []
+    for line in lines:
+        match = _DECL_RE.match(line)
+        if match:
+            kind, rel, arity = match.groups()
+            decls.append(RawDecl(kind, rel, int(arity)))
+            continue
+        match = _QUEUE_RE.match(line)
+        if match:
+            direction, shape, rel, arity = match.groups()
+            decls.append(RawDecl(direction, rel, int(arity),
+                                 nested=(shape == "nested")))
+            continue
+        match = _RULE_RE.match(line)
+        if match:
+            kind, target, head_text, body = match.groups()
+            head = tuple(h.strip() for h in head_text.split(",")
+                         if h.strip())
+            rules.append(RawRule(kind, target, head, body.strip()))
+            continue
+        match = _RULE_NOARGS_RE.match(line)
+        if match:
+            kind, target, body = match.groups()
+            rules.append(RawRule(kind, target, (), body.strip()))
+            continue
+        raise ParseError(f"peer {name}: cannot parse statement {line!r}")
+    return RawPeer(name, tuple(decls), tuple(rules))
+
+
+def scan_document(text: str) -> RawDocument:
+    """Scan *text* into the raw IR without building peers.
+
+    Raises :class:`ParseError` only for text that does not match the
+    surface grammar at all; structural mistakes (undeclared targets,
+    arity clashes, duplicate declarations) scan fine and are left for
+    the analyzer to diagnose.
+    """
+    peers: list[RawPeer] = []
+    properties: list[str] = []
+    lines = _join_continuations(_strip_comments(text))
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        peer_match = _PEER_RE.match(line)
+        db_match = _DB_RE.match(line)
+        prop_match = _PROPERTY_RE.match(line)
+        if peer_match:
+            block: list[str] = []
+            i += 1
+            while i < len(lines) and lines[i] != "}":
+                block.append(lines[i])
+                i += 1
+            if i == len(lines):
+                raise ParseError(
+                    f"peer {peer_match.group(1)}: missing closing brace"
+                )
+            peers.append(_scan_peer_block(peer_match.group(1), block))
+        elif db_match:
+            while i < len(lines) and lines[i] != "}":
+                i += 1
+        elif prop_match:
+            properties.append(prop_match.group(1))
+        elif line:
+            raise ParseError(f"cannot parse top-level statement {line!r}")
+        i += 1
+    return RawDocument(tuple(peers), tuple(properties))
 
 
 def load(text: str) -> tuple[Composition, dict[str, Instance]]:

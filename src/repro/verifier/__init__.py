@@ -17,7 +17,9 @@ from .result import (
 from .search import (
     LassoNodes, SearchCancelled, SearchStats, find_accepting_lasso,
 )
-from .ltlfo_verifier import verify, verify_all, verify_over_databases
+from .ltlfo_verifier import (
+    preflight, verify, verify_all, verify_over_databases,
+)
 from .modular import (
     environment_schema, observer_translate, parse_env_spec,
     translate_env_spec, verify_modular,
@@ -31,7 +33,8 @@ __all__ = [
     "VerifierStats", "canonical_valuations", "canonicalize_valuation",
     "check_one_valuation", "default_workers", "enumerate_databases",
     "environment_schema", "find_accepting_lasso", "fresh_values",
-    "observer_translate", "parse_env_spec", "resolve_workers",
+    "observer_translate", "parse_env_spec", "preflight",
+    "resolve_workers",
     "run_sweep", "translate_env_spec", "verification_domain", "verify",
     "verify_all", "verify_modular", "verify_over_databases",
 ]

@@ -74,6 +74,23 @@ def _check_restrictions(composition: Composition,
         )
 
 
+def preflight(composition: Composition,
+              props: Sequence[LTLFOSentence | str] = (),
+              semantics: ChannelSemantics = DECIDABLE_DEFAULT):
+    """Classify the configuration before searching (``repro lint`` pass 5).
+
+    Returns a :class:`repro.analysis.decidability.Classification` naming
+    the paper theorem that applies: decidable rows carry the complexity
+    class, undecidable rows the violated restriction.  ``verify`` itself
+    stays unchanged -- the search is sound for bug finding either way --
+    but callers (the CLI does this) can warn or refuse up front.
+    """
+    from ..analysis.decidability import classify
+
+    sentences = [_as_sentence(p, composition) for p in props]
+    return classify(composition, sentences, semantics)
+
+
 def verify(composition: Composition,
            prop: LTLFOSentence | str,
            databases: Mapping[str, Instance],

@@ -1,0 +1,50 @@
+"""Property-based tests: the analyzer over synthetic compositions.
+
+Two invariants, over every composition the synthetic generators can
+produce:
+
+1. ``lint_composition`` never raises and never reports error-severity
+   diagnostics (the generators emit well-formed, input-bounded specs).
+2. The lint report's IB verdict (presence of DWV0xx codes) agrees with
+   ``repro.ib.check_composition``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Severity, classify, lint_composition
+from repro.ib import check_composition
+from repro.library.synthetic import relay_chain, relay_ring, wide_peer
+
+
+compositions = st.one_of(
+    st.integers(min_value=0, max_value=3).map(relay_chain),
+    st.integers(min_value=1, max_value=3).map(relay_ring),
+    st.integers(min_value=1, max_value=3).map(wide_peer),
+)
+
+
+@given(compositions)
+@settings(max_examples=40, deadline=None)
+def test_lint_never_crashes_and_reports_no_errors(composition):
+    report = lint_composition(composition)
+    assert not any(d.severity is Severity.ERROR
+                   for d in report.diagnostics)
+    assert report.passes_run[-1] == "decidability"
+
+
+@given(compositions)
+@settings(max_examples=40, deadline=None)
+def test_lint_agrees_with_ib_checker(composition):
+    ib_codes = {d.code for d in lint_composition(composition).diagnostics
+                if d.code.startswith("DWV0")}
+    violations = check_composition(composition)
+    assert bool(ib_codes) == bool(violations)
+    assert ib_codes == {v.code for v in violations}
+
+
+@given(compositions)
+@settings(max_examples=25, deadline=None)
+def test_synthetic_specs_classify_decidable(composition):
+    verdict = classify(composition)
+    assert verdict.decidable
+    assert verdict.theorem == "Theorem 3.4"
