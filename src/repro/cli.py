@@ -5,6 +5,7 @@ Usage::
     python -m repro verify SPEC.dws [--property NAME] [--perfect]
                            [--queue-bound K] [--fair] [--fresh N]
                            [--counterexample] [--workers N] [--stats]
+                           [--engine shared|seed] [--lint-first]
                            [--trace FILE.jsonl] [--metrics-json FILE]
     python -m repro check SPEC.dws            # input-boundedness only
     python -m repro lint SPEC.dws|LIBRARY [--format text|json|sarif]
@@ -117,7 +118,8 @@ def _select_properties(args: argparse.Namespace, properties: dict
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    composition, databases, properties = _load(args.spec)
+    text = Path(args.spec).read_text()
+    composition, databases, properties = load_document(text)
     properties = _select_properties(args, properties)
     if properties is None:
         return 2
@@ -126,12 +128,41 @@ def cmd_verify(args: argparse.Namespace) -> int:
               "(add 'property <name>: <LTL-FO>')", file=sys.stderr)
         return 2
 
+    from .ltlfo.parser import parse_ltlfo
+    sentences = {
+        name: parse_ltlfo(prop_text, composition.schema)
+        for name, prop_text in properties.items()
+    }
+
     # pre-flight: warn (never refuse) when the configuration falls on an
     # undecidable row of the paper's map -- the search stays sound for
     # bug finding, but exhausting it proves nothing in general.
-    from .verifier import preflight
-    classification = preflight(composition, list(properties.values()),
-                               _semantics(args))
+    if args.lint_first:
+        # full analyzer first, reusing what this command already built:
+        # the structural pass re-reads the raw scan, every semantic pass
+        # (and the decidability classifier) runs over the composition
+        # and sentences parsed above -- nothing is constructed twice.
+        from .analysis import (
+            Severity, lint_composition, render_report,
+            structural_diagnostics,
+        )
+        from .spec.dsl import scan_document
+        report = lint_composition(composition, sentences,
+                                  _semantics(args))
+        report.diagnostics = (
+            structural_diagnostics(scan_document(text))
+            + report.diagnostics
+        )
+        if report.diagnostics:
+            print(render_report(report.diagnostics), file=sys.stderr)
+        if any(d.severity is Severity.ERROR for d in report.diagnostics):
+            print("lint found errors; not verifying", file=sys.stderr)
+            return 1
+        classification = report.classifications["composition"]
+    else:
+        from .verifier import preflight
+        classification = preflight(composition, list(sentences.values()),
+                                   _semantics(args))
     if not classification.decidable:
         print(f"warning: {classification.describe()}\n"
               "warning: exhaustive search is not a proof here; "
@@ -143,11 +174,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
                                      fresh_count=args.fresh)
     all_ok = True
     entries: list[dict] = []
-    for name, prop_text in sorted(properties.items()):
+    for name, sentence in sorted(sentences.items()):
         result = verify(
-            composition, prop_text, databases,
+            composition, sentence, databases,
             semantics=_semantics(args), domain=domain,
             fair_scheduling=args.fair, workers=args.workers,
+            engine=args.engine,
         )
         entries.append(_result_entry(name, result))
         if args.stats:
@@ -403,7 +435,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     entries: list[dict] = []
     for name, prop in sorted(properties.items()):
         kwargs = dict(domain=domain, workers=args.workers,
-                      fair_scheduling=args.fair)
+                      fair_scheduling=args.fair, engine=args.engine)
         if semantics is not None:
             kwargs["semantics"] = semantics
         if candidates:
@@ -512,6 +544,17 @@ def build_parser() -> argparse.ArgumentParser:
                                "or sequential)")
     p_verify.add_argument("--stats", action="store_true",
                           help="print full per-property statistics")
+    p_verify.add_argument("--engine", choices=("shared", "seed"),
+                          default=None,
+                          help="search engine: 'shared' reuses one "
+                               "hash-consed exploration across "
+                               "valuations (default; $REPRO_ENGINE), "
+                               "'seed' is the per-valuation engine")
+    p_verify.add_argument("--lint-first", action="store_true",
+                          dest="lint_first",
+                          help="run the full static analyzer before "
+                               "verifying (reusing the parsed spec); "
+                               "refuse to verify on lint errors")
     p_verify.set_defaults(func=cmd_verify)
 
     p_check = sub.add_parser("check", help="input-boundedness check only")
@@ -554,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--workers", type=int, default=None,
                         help="parallel sweep worker processes "
                              "(0: all cores)")
+    p_prof.add_argument("--engine", choices=("shared", "seed"),
+                        default=None,
+                        help="search engine (see `repro verify`)")
     p_prof.set_defaults(func=cmd_profile)
 
     return parser

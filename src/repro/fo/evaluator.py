@@ -57,10 +57,32 @@ def _resolve(term: Term, env: Env) -> Value | None:
     return env.get(term.name)
 
 
+#: Relations smaller than this are scanned directly; building a hash
+#: index only pays off once the scan itself is non-trivial.
+_INDEX_MIN_ROWS = 5
+
+
 def _match_atom(a: Atom, inst: Instance, env: Env) -> set[FrozenEnv]:
     """Bindings of the atom's unbound variables matching rows of *inst*."""
     out: set[FrozenEnv] = set()
-    rows = inst[a.rel]
+    rows: Iterable = inst[a.rel]
+    if len(rows) >= _INDEX_MIN_ROWS:
+        # probe the per-instance hash index on the bound positions
+        # instead of scanning the full extension
+        positions: list[int] = []
+        key: list[Value] = []
+        for i, term in enumerate(a.terms):
+            value = (term.value if isinstance(term, Const)
+                     else env.get(term.name))
+            if value is not None:
+                positions.append(i)
+                key.append(value)
+        if positions:
+            try:
+                rows = inst.rows_matching(a.rel, tuple(positions),
+                                          tuple(key))
+            except IndexError:
+                rows = inst[a.rel]  # arity clash: let the scan report it
     for row in rows:
         if len(row) != len(a.terms):
             raise FormulaError(
@@ -98,6 +120,29 @@ def _extend_all(bindings: set[FrozenEnv], missing: Sequence[str],
             ext.update(zip(missing, combo))
             out.add(_freeze(ext))
     return out
+
+
+def _conjunct_rank(child: Formula, inst: Instance) -> tuple[int, int]:
+    """Sort key for conjunct evaluation order (selectivity heuristic).
+
+    Constants and groundable equalities first, then atoms by ascending
+    extension size, then the remaining positive connectives, and
+    negation-like children last (their enumeration shrinks with every
+    variable already bound).  A variable-variable equality sorts with
+    the positive connectives, not first: with neither side bound it
+    enumerates the whole domain.
+    """
+    if isinstance(child, (TrueF, FalseF)):
+        return (0, 0)
+    if isinstance(child, Eq):
+        if isinstance(child.left, Const) or isinstance(child.right, Const):
+            return (0, 1)
+        return (2, 0)
+    if isinstance(child, Atom):
+        return (1, len(inst[child.rel]))
+    if isinstance(child, (Not, Forall, Implies)):
+        return (3, 0)
+    return (2, 1)
 
 
 def sat_set(formula: Formula, inst: Instance, domain: Sequence[Value],
@@ -151,12 +196,14 @@ def sat_set(formula: Formula, inst: Instance, domain: Sequence[Value],
 
     if isinstance(formula, And):
         result: set[FrozenEnv] = {frozenset()}
-        # Evaluate positive/binding children first so later negations see
-        # their variables bound (efficiency only; correctness is independent
-        # of order because every child is evaluated under all join contexts).
+        # Selectivity-ordered join: cheap binding producers first, then
+        # atoms by ascending extension size, negation-like children last
+        # so they see their variables bound (efficiency only; correctness
+        # is independent of order because every child is evaluated under
+        # all join contexts).
         ordered = sorted(
             formula.children,
-            key=lambda c: 1 if isinstance(c, (Not, Forall, Implies)) else 0,
+            key=lambda c: _conjunct_rank(c, inst),
         )
         for child in ordered:
             next_result: set[FrozenEnv] = set()

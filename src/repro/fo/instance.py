@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping
 
 from ..errors import SchemaError
+from ..obs import counter
 from .schema import RelationSymbol, Schema
 from .terms import Value, is_value, value_sort_key
 
@@ -54,7 +55,7 @@ class Instance:
     schema, the instance is free-form (used for intermediate views).
     """
 
-    __slots__ = ("_data", "_hash")
+    __slots__ = ("_data", "_hash", "_indexes")
 
     @classmethod
     def _from_frozen(cls, data: dict) -> "Instance":
@@ -66,6 +67,7 @@ class Instance:
         self = cls.__new__(cls)
         self._data = dict(sorted(data.items()))
         self._hash = None
+        self._indexes = None
         return self
 
     def __init__(self,
@@ -90,6 +92,19 @@ class Instance:
                 table[name] = _freeze_rows(name, None, rows)
         self._data: Mapping[str, Rows] = dict(sorted(table.items()))
         self._hash: int | None = None
+        self._indexes: dict | None = None
+
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # indexes are derived and the memoized hash is process-dependent
+        # (string hashing is seeded per interpreter); ship neither
+        return self._data
+
+    def __setstate__(self, state: dict) -> None:
+        self._data = state
+        self._hash = None
+        self._indexes = None
 
     # -- mapping protocol -----------------------------------------------
 
@@ -134,6 +149,35 @@ class Instance:
     def is_empty(self, name: str) -> bool:
         """True iff relation *name* has no rows."""
         return not self._data.get(name, FALSE_ROWS)
+
+    def rows_matching(self, name: str, positions: tuple[int, ...],
+                      key: tuple[Value, ...]) -> tuple[Row, ...]:
+        """Rows of *name* whose values at *positions* equal *key*.
+
+        Served from a lazily built hash index on the bound positions
+        (instances are immutable, so the index never invalidates).  The
+        index replaces the atom matcher's full scan with one dict
+        lookup; the build is linear in the relation and paid once per
+        (relation, position-set) per instance.  Raises ``IndexError``
+        when some row is shorter than a requested position -- callers
+        fall back to the scanning path, which reports the arity clash.
+        """
+        if self._indexes is None:
+            self._indexes = {}
+        index = self._indexes.get((name, positions))
+        if index is None:
+            buckets: dict = {}
+            for row in self._data.get(name, FALSE_ROWS):
+                k = tuple(row[p] for p in positions)
+                bucket = buckets.get(k)
+                if bucket is None:
+                    buckets[k] = [row]
+                else:
+                    bucket.append(row)
+            index = {k: tuple(rows) for k, rows in buckets.items()}
+            self._indexes[(name, positions)] = index
+            counter("fo.index_builds").inc()
+        return index.get(key, ())
 
     def active_domain(self) -> frozenset[Value]:
         """All values occurring in any row of any relation."""

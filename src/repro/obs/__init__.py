@@ -22,7 +22,8 @@ ship their phase/cache deltas back to the driver inside
 
 from .metrics import (
     DEFAULT_TIME_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
-    REGISTRY, counter, diff_numeric, gauge, histogram, merge_numeric,
+    REGISTRY, counter, counters_snapshot, diff_numeric, gauge, histogram,
+    merge_counters, merge_numeric,
 )
 from .phases import (
     LINT_PHASE_PREFIX, PHASE_EXPAND, PHASE_FO_EVAL, PHASE_IB_CHECK,
@@ -55,7 +56,8 @@ __all__ = [
     "PHASE_FO_EVAL", "PHASE_IB_CHECK", "PHASE_LINT", "PHASE_RULE_FIRE",
     "PHASE_SEARCH", "PHASE_SWEEP", "PHASE_TRANSLATE",
     "PHASE_VALUATIONS", "REGISTRY", "configure_tracing", "counter",
-    "diff_numeric", "gauge", "histogram", "instant", "lint_phase",
+    "counters_snapshot", "diff_numeric", "gauge", "histogram", "instant",
+    "lint_phase", "merge_counters",
     "merge_numeric", "phase", "phase_counts", "phase_seconds",
     "phase_snapshot", "reset_for_worker", "trace_path",
     "tracing_enabled",

@@ -158,6 +158,24 @@ class MetricsRegistry:
         }
 
 
+def counters_snapshot() -> dict[str, int]:
+    """Current value of every counter in this process's registry.
+
+    The flat form the parallel sweep ships across process boundaries:
+    workers snapshot before/after a task, :func:`diff_numeric` the two,
+    and the driver folds the delta back in with :func:`merge_counters`
+    so ``--metrics-json`` reports fleet-wide totals.
+    """
+    return {name: c.value for name, c in REGISTRY._counters.items()}
+
+
+def merge_counters(delta: Mapping) -> None:
+    """Add a worker's counter deltas into this process's registry."""
+    for name, value in delta.items():
+        if value:
+            REGISTRY.counter(name).inc(value)
+
+
 def merge_numeric(into: dict, extra: Mapping) -> dict:
     """Sum *extra*'s numeric values into *into*, key by key (in place).
 

@@ -20,7 +20,7 @@ and, for open compositions, the environment's channel views ``ENV.q``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..errors import SemanticsError
@@ -55,6 +55,32 @@ class GlobalState:
     mover: str | None = None
     enqueued: frozenset = frozenset()
     sent: frozenset = frozenset()
+    # Memoized hash: snapshots are hashed millions of times by visited
+    # sets, transition caches, and the state interner, and the generated
+    # dataclass hash re-walks the queue tuples on every call.
+    _hash: int | None = field(default=None, init=False, repr=False,
+                              compare=False)
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.data, self.queues, self.mover,
+                      self.enqueued, self.sent))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self) -> tuple:
+        # the memoized hash is process-dependent (seeded string hashing):
+        # never ship it to pool workers
+        return (self.data, self.queues, self.mover, self.enqueued,
+                self.sent)
+
+    def __setstate__(self, state: tuple) -> None:
+        for name, value in zip(
+            ("data", "queues", "mover", "enqueued", "sent"), state
+        ):
+            object.__setattr__(self, name, value)
+        object.__setattr__(self, "_hash", None)
 
     def queue(self, channel: str) -> QueueContents:
         for name, contents in self.queues:

@@ -68,7 +68,16 @@ class _RuleCache:
         self.maxsize = maxsize
         self._pid = os.getpid()
         self._answers: OrderedDict = OrderedDict()
-        self._relevant: dict = {}
+        # rules are interned by identity: a composition hands out the
+        # same Rule objects for every snapshot, and hashing a Rule walks
+        # its whole body formula -- far too expensive per lookup.  The
+        # rule object is kept as the value so its id cannot be recycled.
+        self._relevant: dict[int, tuple[Rule, tuple[str, ...]]] = {}
+        # relation extensions and domains are interned by value into
+        # dense ids, so memo keys are flat int tuples instead of nested
+        # frozenset tuples (cheap to hash and compare on every lookup).
+        self._extension_ids: dict = {}
+        self._domain_ids: dict = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -82,25 +91,36 @@ class _RuleCache:
     def clear(self) -> None:
         self._answers.clear()
         self._relevant.clear()
+        self._extension_ids.clear()
+        self._domain_ids.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def relevant_relations(self, rule: Rule) -> tuple[str, ...]:
-        relevant = self._relevant.get(rule)
-        if relevant is None:
+        entry = self._relevant.get(id(rule))
+        if entry is None:
             from ..fo.formulas import relations
-            relevant = tuple(sorted(relations(rule.body)))
-            self._relevant[rule] = relevant
-        return relevant
+            entry = (rule, tuple(sorted(relations(rule.body))))
+            self._relevant[id(rule)] = entry
+        return entry[1]
+
+    def _intern(self, table: dict, obj) -> int:
+        interned = table.get(obj)
+        if interned is None:
+            interned = len(table)
+            table[obj] = interned
+        return interned
 
     def answers_for(self, rule: Rule, view: Instance, domain: Domain
                     ) -> Rows:
         self._check_owner()
+        ext_ids = self._extension_ids
         key = (
-            rule,
-            tuple(view[rel] for rel in self.relevant_relations(rule)),
-            tuple(domain),
+            id(rule),
+            self._intern(self._domain_ids, tuple(domain)),
+            *(self._intern(ext_ids, view[rel])
+              for rel in self.relevant_relations(rule)),
         )
         cached = self._answers.get(key)
         if cached is not None:

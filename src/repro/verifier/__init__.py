@@ -1,10 +1,17 @@
 """Decision procedures: LTL-FO verification, protocol compliance,
 modular (assume-guarantee) verification."""
 
-from .atoms import OccursAtom, SnapshotEvaluator
+from .atoms import (
+    InternedSnapshotEvaluator, OccursAtom, SharedSnapshotContext,
+    SnapshotEvaluator,
+)
 from .domain import (
     VerificationDomain, canonical_valuations, canonicalize_valuation,
     enumerate_databases, fresh_values, verification_domain,
+)
+from .graph import (
+    ExploredGraph, InternedProduct, SharedExploration, StateInterner,
+    resolve_engine,
 )
 from .parallel import (
     SweepContext, SweepPayload, SweepTask, check_one_valuation,
@@ -26,15 +33,19 @@ from .modular import (
 )
 
 __all__ = [
-    "Counterexample", "LassoNodes", "OccursAtom", "ProductSystem",
-    "SearchBudget", "SearchCancelled", "SearchStats", "SnapshotEvaluator",
+    "Counterexample", "ExploredGraph", "InternedProduct",
+    "InternedSnapshotEvaluator", "LassoNodes", "OccursAtom",
+    "ProductSystem",
+    "SearchBudget", "SearchCancelled", "SearchStats",
+    "SharedExploration", "SharedSnapshotContext", "SnapshotEvaluator",
+    "StateInterner",
     "SweepContext", "SweepPayload", "SweepTask", "TaskStats",
     "TransitionCache", "VerificationDomain", "VerificationResult",
     "VerifierStats", "canonical_valuations", "canonicalize_valuation",
     "check_one_valuation", "default_workers", "enumerate_databases",
     "environment_schema", "find_accepting_lasso", "fresh_values",
     "observer_translate", "parse_env_spec", "preflight",
-    "resolve_workers",
+    "resolve_engine", "resolve_workers",
     "run_sweep", "translate_env_spec", "verification_domain", "verify",
     "verify_all", "verify_modular", "verify_over_databases",
 ]

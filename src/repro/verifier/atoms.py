@@ -23,6 +23,7 @@ from typing import Hashable, Iterable
 from ..fo.evaluator import evaluate
 from ..fo.formulas import Formula
 from ..fo.instance import Instance
+from ..obs import counter
 from ..fo.terms import Value
 from ..spec.composition import Composition
 from ..runtime.state import GlobalState, snapshot_view
@@ -101,6 +102,95 @@ class SnapshotEvaluator:
                     true_aps.add(ap)
         letter = frozenset(true_aps)
         self._letter_cache[state] = letter
+        return letter
+
+
+class SharedSnapshotContext:
+    """Per-exploration caches keyed on interned state ids.
+
+    Owned by a :class:`~repro.verifier.graph.SharedExploration` and
+    shared by every valuation's :class:`InternedSnapshotEvaluator`:
+    snapshot views and active domains are computed once per state for
+    the whole sweep (the seed engine recomputes them once per state
+    *per valuation*), FO truths are shared across valuations whose APs
+    coincide (occurs-atoms and closure-variable-free subformulas), and
+    whole letters are memoized per (AP set, state).
+    """
+
+    def __init__(self, composition: Composition, interner) -> None:
+        self.composition = composition
+        self.interner = interner
+        self._views: dict[int, Instance] = {}
+        self._domains: dict[int, frozenset] = {}
+        self._truths: dict = {}
+        self._letters: dict = {}
+
+    def view(self, sid: int) -> Instance:
+        cached = self._views.get(sid)
+        if cached is None:
+            cached = snapshot_view(self.interner.state_of(sid),
+                                   self.composition)
+            self._views[sid] = cached
+        return cached
+
+    def active_domain(self, sid: int) -> frozenset:
+        cached = self._domains.get(sid)
+        if cached is None:
+            cached = self.interner.state_of(sid).active_domain()
+            self._domains[sid] = cached
+        return cached
+
+
+class InternedSnapshotEvaluator:
+    """Letter evaluation over interned state ids, with shared caches.
+
+    The interned twin of :class:`SnapshotEvaluator`: same AP semantics,
+    but ``letter`` takes a dense state id and every cache outlives this
+    evaluator (they belong to the exploration's
+    :class:`SharedSnapshotContext`), so valuations 2..N of a sweep
+    mostly re-read memoized truths instead of re-evaluating formulas.
+    """
+
+    def __init__(self, composition: Composition, domain: Iterable[Value],
+                 aps: frozenset, shared: SharedSnapshotContext) -> None:
+        self.composition = composition
+        self.domain = tuple(domain)
+        self.aps = aps
+        self.shared = shared
+        from ..fo.formulas import relations
+        self._relevant: dict = {
+            ap: tuple(sorted(relations(ap)))
+            for ap in aps if not isinstance(ap, OccursAtom)
+        }
+        self._memo_hits = counter("atoms.letters_memoized")
+
+    def letter(self, sid: int) -> frozenset:
+        shared = self.shared
+        key = (self.aps, sid)
+        cached = shared._letters.get(key)
+        if cached is not None:
+            self._memo_hits.inc()
+            return cached
+        true_aps: set[Hashable] = set()
+        view = None
+        for ap in self.aps:
+            if isinstance(ap, OccursAtom):
+                if ap.value in shared.active_domain(sid):
+                    true_aps.add(ap)
+            else:
+                if view is None:
+                    view = shared.view(sid)
+                truth_key = (ap, tuple(
+                    view[rel] for rel in self._relevant[ap]
+                ))
+                truth = shared._truths.get(truth_key)
+                if truth is None:
+                    truth = evaluate(ap, view, self.domain)
+                    shared._truths[truth_key] = truth
+                if truth:
+                    true_aps.add(ap)
+        letter = frozenset(true_aps)
+        shared._letters[key] = letter
         return letter
 
 

@@ -39,6 +39,7 @@ from ..spec.composition import Composition
 from .domain import (
     VerificationDomain, canonical_valuations, verification_domain,
 )
+from .graph import SharedExploration, resolve_engine
 from .parallel import (
     check_one_valuation, parallel_verify, parallel_verify_all,
     parallel_verify_over_databases, resolve_workers,
@@ -105,6 +106,7 @@ def verify(composition: Composition,
            env_one_action_per_move: bool = True,
            fair_scheduling: bool = False,
            workers: int | None = None,
+           engine: str | SharedExploration | None = None,
            ) -> VerificationResult:
     """Decide ``composition |= prop`` over the given databases.
 
@@ -150,6 +152,17 @@ def verify(composition: Composition,
         :mod:`repro.verifier.parallel`).  Ignored when a shared
         ``transition_cache`` is supplied, since worker processes cannot
         populate the caller's in-process cache.
+    engine:
+        ``"shared"`` (default; overridable via ``REPRO_ENGINE``) runs
+        the search over a hash-consed exploration shared across
+        valuations -- the reachable graph is frozen into CSR form after
+        the first valuation and later valuations are pure graph walks
+        (see :mod:`repro.verifier.graph`).  ``"seed"`` is the original
+        per-valuation engine.  A :class:`SharedExploration` instance
+        reuses that exploration directly (``verify_all`` does this to
+        share one frozen graph across a property batch).  Verdicts,
+        counterexamples, and search node counts are identical either
+        way (Theorem 3.4's graph is valuation-independent).
     """
     sentence = _as_sentence(prop, composition)
     _check_restrictions(composition, sentence, check_input_bounded)
@@ -171,7 +184,9 @@ def verify(composition: Composition,
         ]
 
     n_workers = resolve_workers(workers)
-    if n_workers > 1 and transition_cache is None and len(valuations) > 1:
+    if (n_workers > 1 and transition_cache is None
+            and len(valuations) > 1
+            and not isinstance(engine, SharedExploration)):
         return parallel_verify(
             composition, sentence, databases, semantics, domain,
             valuations, n_workers, budget=budget,
@@ -179,26 +194,38 @@ def verify(composition: Composition,
             env_value_domain=env_value_domain,
             env_one_action_per_move=env_one_action_per_move,
             fair_scheduling=fair_scheduling,
+            engine=resolve_engine(engine),
         )
 
     stats = VerifierStats()
-    cache = transition_cache or TransitionCache(
-        composition, databases, domain.values, semantics,
-        include_environment=include_environment, budget=budget,
-        env_value_domain=env_value_domain,
-        env_one_action_per_move=env_one_action_per_move,
-    )
+    if isinstance(engine, SharedExploration):
+        shared_engine: SharedExploration | None = engine
+        cache = engine.cache
+    else:
+        cache = transition_cache or TransitionCache(
+            composition, databases, domain.values, semantics,
+            include_environment=include_environment, budget=budget,
+            env_value_domain=env_value_domain,
+            env_one_action_per_move=env_one_action_per_move,
+        )
+        shared_engine = (SharedExploration(cache)
+                         if resolve_engine(engine) == "shared" else None)
     result_counterexample: Counterexample | None = None
     cache_before = rule_cache_info()
     seconds_before = phase_seconds()
     counts_before = phase_counts()
 
     with Stopwatch(stats):
-        for valuation in valuations:
+        for index, valuation in enumerate(valuations):
+            if shared_engine is not None and index == 1:
+                # the first valuation explored lazily (it may decide the
+                # verdict without the full graph); from the second on,
+                # freeze so remaining valuations are pure graph walks
+                shared_engine.complete(strict=False)
             stats.valuations_checked += 1
             outcome = check_one_valuation(
                 composition, sentence, valuation, domain, cache,
-                fair_scheduling=fair_scheduling,
+                fair_scheduling=fair_scheduling, engine=shared_engine,
             )
             stats.nba_states_total += outcome.nba_states
             stats.merge_search(outcome.blue_visited, outcome.red_visited)
@@ -212,7 +239,10 @@ def verify(composition: Composition,
                     property_text=str(sentence),
                 )
                 break
-        stats.system_states = cache.states_expanded
+        stats.system_states = (
+            cache.states_expanded if cache is not None
+            else len(shared_engine.interner)
+        )
 
     stats.merge_phases(diff_numeric(phase_seconds(), seconds_before),
                        diff_numeric(phase_counts(), counts_before))
@@ -235,6 +265,7 @@ def verify_over_databases(composition: Composition,
                           max_rows: int = 1,
                           semantics: ChannelSemantics = DECIDABLE_DEFAULT,
                           workers: int | None = None,
+                          engine: str | None = None,
                           **kwargs) -> VerificationResult:
     """Decide the property over *every* database within the given bounds.
 
@@ -290,12 +321,14 @@ def verify_over_databases(composition: Composition,
             composition, sentence, combos, semantics, domains,
             valuations_per_combo, n_workers,
             budget=kwargs.get("budget"),
+            engine=resolve_engine(engine),
         )
 
     last: VerificationResult | None = None
     for databases in combos:
         result = verify(composition, prop, databases,
-                        semantics=semantics, workers=n_workers, **kwargs)
+                        semantics=semantics, workers=n_workers,
+                        engine=engine, **kwargs)
         if not result.satisfied:
             return result
         last = result
@@ -311,18 +344,22 @@ def verify_all(composition: Composition,
                check_input_bounded: bool = True,
                budget: SearchBudget | None = None,
                workers: int | None = None,
+               engine: str | None = None,
                ) -> list[VerificationResult]:
     """Verify several properties sharing one transition-system exploration.
 
     With ``workers > 1`` every (property, valuation) pair becomes one
-    task of the parallel sweep; each worker process keeps a private
-    transition cache shared across the tasks it executes.  Verdicts and
-    counterexamples are identical to the sequential batch.
+    task of the parallel sweep; under the shared engine the driver
+    pre-expands the reachable graph once and ships it to every worker.
+    Sequentially, one :class:`SharedExploration` (interner, frozen
+    graph, snapshot/letter caches) serves the whole batch.  Verdicts
+    and counterexamples are identical to the sequential seed batch.
     """
     sentences = [_as_sentence(p, composition) for p in props]
     if domain is None:
         domain = verification_domain(composition, sentences, databases)
 
+    engine_mode = resolve_engine(engine)
     n_workers = resolve_workers(workers)
     if n_workers > 1 and sentences:
         for sentence in sentences:
@@ -333,14 +370,18 @@ def verify_all(composition: Composition,
         return parallel_verify_all(
             composition, sentences, databases, semantics, domain,
             valuations_per_sentence, n_workers, budget=budget,
+            engine=engine_mode,
         )
 
     cache = TransitionCache(
         composition, databases, domain.values, semantics, budget=budget,
     )
+    shared: str | SharedExploration = engine_mode
+    if engine_mode == "shared":
+        shared = SharedExploration(cache)
     return [
         verify(composition, s, databases, semantics=semantics,
                domain=domain, check_input_bounded=check_input_bounded,
-               budget=budget, transition_cache=cache)
+               budget=budget, transition_cache=cache, engine=shared)
         for s in sentences
     ]

@@ -42,7 +42,7 @@ import pickle
 import time
 from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 from ..fo.instance import Instance
@@ -51,8 +51,8 @@ from ..ltl.formulas import land, latom, lfinally, lglobally, lnot
 from ..ltl.translate import ltl_to_buchi
 from ..ltlfo.formulas import LTLFOSentence
 from ..obs import (
-    PHASE_SWEEP, diff_numeric, instant, phase, phase_counts,
-    phase_seconds, reset_for_worker,
+    PHASE_SWEEP, counters_snapshot, diff_numeric, instant, merge_counters,
+    phase, phase_counts, phase_seconds, reset_for_worker,
 )
 from ..runtime.run import Lasso
 from ..runtime.step import (
@@ -60,8 +60,11 @@ from ..runtime.step import (
 )
 from ..spec.channels import ChannelSemantics
 from ..spec.composition import Composition
-from .atoms import OccursAtom, SnapshotEvaluator
+from .atoms import InternedSnapshotEvaluator, OccursAtom, SnapshotEvaluator
 from .domain import VerificationDomain
+from .graph import (
+    ExploredGraph, InternedProduct, SharedExploration, resolve_engine,
+)
 from .product import ProductSystem, SearchBudget, TransitionCache
 from .result import (
     Counterexample, TaskStats, VerificationResult, VerifierStats,
@@ -125,6 +128,11 @@ class SweepPayload:
     env_one_action_per_move: bool = True
     fair_scheduling: bool = False
     budget: SearchBudget | None = None
+    #: "shared" (interned exploration, frozen-graph reuse) or "seed".
+    engine: str = "shared"
+    #: Pre-expanded reachable graph shipped by the driver so workers
+    #: never re-expand (single-context payloads only).
+    frozen_graph: ExploredGraph | None = None
 
 
 @dataclass(frozen=True)
@@ -173,6 +181,7 @@ class TaskOutcome:
     phase_seconds: dict = field(default_factory=dict)
     phase_counts: dict = field(default_factory=dict)
     rule_cache: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
 
 
 def freeze_valuation(valuation: Mapping[Var, Value]
@@ -214,9 +223,11 @@ def check_one_valuation(composition: Composition,
                         sentence: LTLFOSentence,
                         valuation: Mapping[Var, Value],
                         domain: VerificationDomain,
-                        cache: TransitionCache,
+                        cache: TransitionCache | None,
                         fair_scheduling: bool = False,
-                        should_stop=None) -> ValuationOutcome:
+                        should_stop=None,
+                        engine: SharedExploration | None = None
+                        ) -> ValuationOutcome:
     """Translate + search one valuation of the closure variables.
 
     The per-valuation unit of work of :func:`repro.verifier.verify`:
@@ -224,6 +235,12 @@ def check_one_valuation(composition: Composition,
     ``F occurs(v)`` restrictions (and fairness terms if requested),
     translate to a Büchi automaton, and search the on-the-fly product
     for an accepting lasso.
+
+    With ``engine`` (a :class:`~repro.verifier.graph.SharedExploration`)
+    the product runs over interned state ids and the exploration's
+    shared snapshot/letter caches; lasso nodes are mapped back to
+    snapshots before returning, so the outcome is indistinguishable
+    from the seed path.
     """
     body = sentence.instantiate(valuation)
     negated = lnot(body)
@@ -237,8 +254,15 @@ def check_one_valuation(composition: Composition,
     ]
     extra = fairness_terms(composition) if fair_scheduling else []
     nba = ltl_to_buchi(land(negated, *occurs_terms, *extra))
-    evaluator = SnapshotEvaluator(composition, domain.values, nba.aps)
-    product = ProductSystem(cache, nba, evaluator)
+    if engine is not None:
+        evaluator = InternedSnapshotEvaluator(
+            composition, domain.values, nba.aps, engine.shared
+        )
+        product = InternedProduct(engine, nba, evaluator)
+    else:
+        assert cache is not None
+        evaluator = SnapshotEvaluator(composition, domain.values, nba.aps)
+        product = ProductSystem(cache, nba, evaluator)
     lasso_nodes, search_stats = find_accepting_lasso(
         product, should_stop=should_stop
     )
@@ -246,8 +270,13 @@ def check_one_valuation(composition: Composition,
         return ValuationOutcome(None, None, nba.num_states(),
                                 search_stats.blue_visited,
                                 search_stats.red_visited)
-    prefix = tuple(n[0] for n in lasso_nodes.prefix)
-    cycle = tuple(n[0] for n in lasso_nodes.cycle)
+    if engine is not None:
+        state_of = engine.interner.state_of
+        prefix = tuple(state_of(n[0]) for n in lasso_nodes.prefix)
+        cycle = tuple(state_of(n[0]) for n in lasso_nodes.cycle)
+    else:
+        prefix = tuple(n[0] for n in lasso_nodes.prefix)
+        cycle = tuple(n[0] for n in lasso_nodes.cycle)
     return ValuationOutcome(prefix, cycle, nba.num_states(),
                             search_stats.blue_visited,
                             search_stats.red_visited)
@@ -267,25 +296,51 @@ def _init_worker(payload_bytes: bytes, cancel) -> None:
     _WORKER["caches"] = {}
 
 
-def _context_cache(payload: SweepPayload, ctx_idx: int,
-                   caches: dict) -> TransitionCache:
-    cache = caches.get(ctx_idx)
-    if cache is None:
-        # keep at most one context's exploration in memory per worker:
-        # contexts partition the state space, so old entries cannot be
-        # reused and only pin memory
-        caches.clear()
-        ctx = payload.contexts[ctx_idx]
-        cache = TransitionCache(
-            payload.composition, dict(ctx.databases), ctx.domain.values,
-            payload.semantics,
-            include_environment=payload.include_environment,
-            budget=payload.budget,
-            env_value_domain=payload.env_value_domain,
-            env_one_action_per_move=payload.env_one_action_per_move,
-        )
-        caches[ctx_idx] = cache
-    return cache
+def _context_transition_cache(payload: SweepPayload,
+                              ctx_idx: int) -> TransitionCache:
+    ctx = payload.contexts[ctx_idx]
+    return TransitionCache(
+        payload.composition, dict(ctx.databases), ctx.domain.values,
+        payload.semantics,
+        include_environment=payload.include_environment,
+        budget=payload.budget,
+        env_value_domain=payload.env_value_domain,
+        env_one_action_per_move=payload.env_one_action_per_move,
+    )
+
+
+def _context_cache(payload: SweepPayload, ctx_idx: int, caches: dict
+                   ) -> tuple[TransitionCache | None,
+                              SharedExploration | None]:
+    """The ``(transition cache, shared engine)`` pair for one context.
+
+    A driver-shipped frozen graph is served as-is (the executor never
+    expands anything); otherwise a private cache is built, wrapped in a
+    :class:`SharedExploration` under the shared engine.  The second
+    task that lands on the same context freezes the engine, so batched
+    valuations walk the CSR graph instead of re-querying the cache.
+    """
+    entry = caches.get(ctx_idx)
+    if entry is not None:
+        cache, engine = entry
+        if engine is not None and engine.frozen is None:
+            engine.complete(strict=False)
+        return entry
+    # keep at most one context's exploration in memory per worker:
+    # contexts partition the state space, so old entries cannot be
+    # reused and only pin memory
+    caches.clear()
+    if payload.frozen_graph is not None and ctx_idx == 0:
+        entry = (None, SharedExploration.from_graph(
+            payload.frozen_graph, payload.composition
+        ))
+    else:
+        cache = _context_transition_cache(payload, ctx_idx)
+        engine = (SharedExploration(cache)
+                  if payload.engine == "shared" else None)
+        entry = (cache, engine)
+    caches[ctx_idx] = entry
+    return entry
 
 
 def _worker_id() -> str:
@@ -293,17 +348,20 @@ def _worker_id() -> str:
 
 
 def _execute_task(payload: SweepPayload, task: SweepTask,
-                  cache: TransitionCache, should_stop) -> TaskOutcome:
+                  cache: TransitionCache | None,
+                  engine: SharedExploration | None,
+                  should_stop) -> TaskOutcome:
     cache_before = rule_cache_info()
     seconds_before = phase_seconds()
     counts_before = phase_counts()
+    counters_before = counters_snapshot()
     t0 = time.perf_counter()
     try:
         outcome = check_one_valuation(
             payload.composition, payload.sentences[task.sentence],
             dict(task.valuation), payload.contexts[task.ctx].domain,
             cache, fair_scheduling=payload.fair_scheduling,
-            should_stop=should_stop,
+            should_stop=should_stop, engine=engine,
         )
     except SearchCancelled:
         outcome = None
@@ -313,9 +371,12 @@ def _execute_task(payload: SweepPayload, task: SweepTask,
         phase_seconds=diff_numeric(phase_seconds(), seconds_before),
         phase_counts=diff_numeric(phase_counts(), counts_before),
         rule_cache=rule_cache_delta(cache_before),
+        counters=diff_numeric(counters_snapshot(), counters_before),
     )
     instant("task-done", group=task.group, order=task.order,
             cancelled=outcome is None, wall_seconds=wall)
+    expanded = (engine.states_expanded if engine is not None
+                else cache.states_expanded)
     if outcome is None:
         return TaskOutcome(
             group=task.group, order=task.order, ctx=task.ctx,
@@ -330,7 +391,7 @@ def _execute_task(payload: SweepPayload, task: SweepTask,
         lasso_prefix=outcome.lasso_prefix, lasso_cycle=outcome.lasso_cycle,
         nba_states=outcome.nba_states, blue_visited=outcome.blue_visited,
         red_visited=outcome.red_visited,
-        states_expanded=cache.states_expanded,
+        states_expanded=expanded,
         wall_seconds=wall, **obs_fields,
     )
 
@@ -344,8 +405,8 @@ def _run_task(task: SweepTask) -> TaskOutcome:
 
     if should_stop():
         return _cancelled_outcome(task)
-    cache = _context_cache(payload, task.ctx, _WORKER["caches"])
-    outcome = _execute_task(payload, task, cache, should_stop)
+    cache, engine = _context_cache(payload, task.ctx, _WORKER["caches"])
+    outcome = _execute_task(payload, task, cache, engine, should_stop)
     if outcome.lasso_cycle is not None and cancel is not None:
         with cancel.get_lock():
             if task.order < cancel[task.group]:
@@ -377,8 +438,8 @@ def _run_sweep_sequential(payload: SweepPayload,
         if decided.get(task.group, _UNDECIDED) < task.order:
             outcomes.append(_cancelled_outcome(task))
             continue
-        cache = _context_cache(payload, task.ctx, caches)
-        outcome = _execute_task(payload, task, cache, None)
+        cache, engine = _context_cache(payload, task.ctx, caches)
+        outcome = _execute_task(payload, task, cache, engine, None)
         outcomes.append(outcome)
         if outcome.lasso_cycle is not None:
             decided[task.group] = min(
@@ -463,7 +524,9 @@ def _run_sweep_pool(payload_bytes: bytes, tasks: Sequence[SweepTask],
 
 
 def _aggregate_group(group: int, outcomes: Sequence[TaskOutcome],
-                     stats: VerifierStats) -> TaskOutcome | None:
+                     stats: VerifierStats,
+                     merge_worker_counters: bool = False
+                     ) -> TaskOutcome | None:
     """Fold one group's outcomes into *stats*; return the decisive task.
 
     Only tasks at or before the decisive (lowest violated) order count
@@ -495,6 +558,12 @@ def _aggregate_group(group: int, outcomes: Sequence[TaskOutcome],
         ))
         stats.merge_phases(outcome.phase_seconds, outcome.phase_counts)
         stats.merge_rule_cache(outcome.rule_cache)
+        if merge_worker_counters:
+            # fold pool-worker registry movement (graph.reuse_hits,
+            # fo.index_builds, ...) into the driver's registry so
+            # --metrics-json reports fleet-wide totals; in-process
+            # sweeps already incremented this registry directly
+            merge_counters(outcome.counters)
         if outcome.worker and (outcome.wall_seconds
                                or outcome.phase_seconds
                                or outcome.rule_cache):
@@ -514,8 +583,14 @@ def _result_for_group(group: int, outcomes: Sequence[TaskOutcome],
                       workers: int, used_parallel: bool,
                       wall_seconds: float) -> VerificationResult:
     stats = VerifierStats(workers=workers if used_parallel else 1)
-    decisive = _aggregate_group(group, outcomes, stats)
+    decisive = _aggregate_group(group, outcomes, stats,
+                                merge_worker_counters=used_parallel)
     stats.wall_seconds = wall_seconds
+    if payload.frozen_graph is not None:
+        # workers served the driver's pre-expanded graph and report 0
+        # expansions; the graph size is the true system-state count
+        stats.system_states = max(stats.system_states,
+                                  payload.frozen_graph.num_states)
     counterexample = None
     domain = payload.contexts[-1].domain
     if decisive is not None:
@@ -541,6 +616,52 @@ def _result_for_group(group: int, outcomes: Sequence[TaskOutcome],
 # entry points used by repro.verifier.ltlfo_verifier
 
 
+def _prepare_payload(payload: SweepPayload) -> SweepPayload:
+    """Pre-expand single-context shared payloads in the driver.
+
+    The reachable snapshot graph is valuation-independent, so the
+    driver expands it exactly once and ships the frozen CSR graph to
+    every worker -- no worker re-expands the state space.  Multi-context
+    grids (database enumeration) skip this: contexts partition across
+    workers, so each worker's lazily shared exploration is built at
+    most once per context anyway.
+    """
+    if payload.engine != "shared" or len(payload.contexts) != 1:
+        return payload
+    engine = SharedExploration(_context_transition_cache(payload, 0))
+    graph = engine.complete(strict=False)
+    if graph is None:
+        return payload
+    return replace(payload, frozen_graph=graph)
+
+
+class _DriverObs:
+    """Capture driver-side phase/rule-cache movement around a sweep.
+
+    With frozen-graph shipping the expansion and rule firing happen in
+    the *driver* (during :func:`_prepare_payload`), not in workers;
+    without this capture those seconds would vanish from
+    ``VerifierStats`` under ``--workers > 1``.
+    """
+
+    def __enter__(self) -> "_DriverObs":
+        self._rule_before = rule_cache_info()
+        self._seconds_before = phase_seconds()
+        self._counts_before = phase_counts()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.phase_seconds = diff_numeric(phase_seconds(),
+                                          self._seconds_before)
+        self.phase_counts = diff_numeric(phase_counts(),
+                                         self._counts_before)
+        self.rule_cache = rule_cache_delta(self._rule_before)
+
+    def merge_into(self, stats: VerifierStats) -> None:
+        stats.merge_phases(self.phase_seconds, self.phase_counts)
+        stats.merge_rule_cache(self.rule_cache)
+
+
 def parallel_verify(composition: Composition,
                     sentence: LTLFOSentence,
                     databases: Mapping[str, Instance],
@@ -552,7 +673,8 @@ def parallel_verify(composition: Composition,
                     include_environment: bool = True,
                     env_value_domain: Sequence[Value] | None = None,
                     env_one_action_per_move: bool = True,
-                    fair_scheduling: bool = False) -> VerificationResult:
+                    fair_scheduling: bool = False,
+                    engine: str = "shared") -> VerificationResult:
     """One property, one database set, valuations fanned out."""
     payload = SweepPayload(
         composition=composition,
@@ -565,6 +687,7 @@ def parallel_verify(composition: Composition,
         env_one_action_per_move=env_one_action_per_move,
         fair_scheduling=fair_scheduling,
         budget=budget,
+        engine=resolve_engine(engine),
     )
     tasks = [
         SweepTask(group=0, order=i, ctx=0, sentence=0,
@@ -572,11 +695,15 @@ def parallel_verify(composition: Composition,
         for i, v in enumerate(valuations)
     ]
     t0 = time.perf_counter()
+    with _DriverObs() as driver_obs:
+        payload = _prepare_payload(payload)
     outcomes, used_parallel = run_sweep(payload, tasks, workers)
-    return _result_for_group(
+    result = _result_for_group(
         0, outcomes, payload, sentence, workers, used_parallel,
         time.perf_counter() - t0,
     )
+    driver_obs.merge_into(result.stats)
+    return result
 
 
 def parallel_verify_all(composition: Composition,
@@ -588,6 +715,7 @@ def parallel_verify_all(composition: Composition,
                             Sequence[Mapping[Var, Value]]],
                         workers: int,
                         budget: SearchBudget | None = None,
+                        engine: str = "shared",
                         ) -> list[VerificationResult]:
     """Several properties over one database set, one group per property."""
     payload = SweepPayload(
@@ -596,6 +724,7 @@ def parallel_verify_all(composition: Composition,
         sentences=tuple(sentences),
         semantics=semantics,
         budget=budget,
+        engine=resolve_engine(engine),
     )
     tasks = [
         SweepTask(group=s_idx, order=i, ctx=0, sentence=s_idx,
@@ -604,13 +733,19 @@ def parallel_verify_all(composition: Composition,
         for i, v in enumerate(valuations)
     ]
     t0 = time.perf_counter()
+    with _DriverObs() as driver_obs:
+        payload = _prepare_payload(payload)
     outcomes, used_parallel = run_sweep(payload, tasks, workers)
     wall = time.perf_counter() - t0
-    return [
+    results = [
         _result_for_group(s_idx, outcomes, payload, sentence, workers,
                           used_parallel, wall)
         for s_idx, sentence in enumerate(sentences)
     ]
+    if results:
+        # the one-off pre-expansion is attributed to the first group
+        driver_obs.merge_into(results[0].stats)
+    return results
 
 
 def parallel_verify_over_databases(
@@ -621,12 +756,15 @@ def parallel_verify_over_databases(
         domains: Sequence[VerificationDomain],
         valuations_per_combo: Sequence[Sequence[Mapping[Var, Value]]],
         workers: int,
-        budget: SearchBudget | None = None) -> VerificationResult:
+        budget: SearchBudget | None = None,
+        engine: str = "shared") -> VerificationResult:
     """One property swept over every enumerated database combination.
 
     The full (database, valuation) grid is one deterministic order: the
     first violated cell (in combo-major order) decides, matching the
-    sequential enumeration.
+    sequential enumeration.  Workers share one exploration per context
+    (and freeze it after the first valuation they batch on it); the
+    driver does not pre-expand, since contexts partition the grid.
     """
     contexts = tuple(
         SweepContext(tuple(sorted(dbs.items())), dom)
@@ -638,6 +776,7 @@ def parallel_verify_over_databases(
         sentences=(sentence,),
         semantics=semantics,
         budget=budget,
+        engine=resolve_engine(engine),
     )
     counter = itertools.count()
     tasks = [

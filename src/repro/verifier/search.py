@@ -16,7 +16,13 @@ from ..errors import VerificationError
 from ..obs import PHASE_SEARCH, counter, phase
 from .product import ProductNode, ProductSystem
 
-#: How many node visits pass between ``should_stop`` polls.
+#: How many loop iterations pass between ``should_stop`` polls.
+#:
+#: Polling is driven by a per-search iteration counter, NOT by
+#: ``stats.nodes_visited``: node counts stall during postorder/pop
+#: stretches (every iteration would re-poll at a multiple and never
+#: poll between multiples), so a monotonic tick is the only way to
+#: bound cancellation latency.
 _STOP_POLL_INTERVAL = 128
 
 
@@ -58,12 +64,14 @@ def _red_search(seed: ProductNode,
     parents: dict[ProductNode, ProductNode] = {}
     stack = [seed]
     local_seen = {seed}
+    tick = 0
     while stack:
         node = stack.pop()
         if (should_stop is not None
-                and stats.nodes_visited % _STOP_POLL_INTERVAL == 0
+                and tick % _STOP_POLL_INTERVAL == 0
                 and should_stop()):
             raise SearchCancelled
+        tick += 1
         for succ in successors(node):
             if succ in cyan:
                 # found the closing edge; rebuild the red path
@@ -128,12 +136,14 @@ def _blue_dfs(product: ProductSystem,
         path.append(root)
         stack.append((root, product.successors(root)))
         stats.blue_visited += 1
+        tick = 0
         while stack:
             node, it = stack[-1]
             if (should_stop is not None
-                    and stats.nodes_visited % _STOP_POLL_INTERVAL == 0
+                    and tick % _STOP_POLL_INTERVAL == 0
                     and should_stop()):
                 raise SearchCancelled
+            tick += 1
             advanced = False
             for succ in it:
                 if succ in cyan or succ in blue:
