@@ -52,11 +52,20 @@ def report(row: Row) -> None:
 
 
 def metrics_dir() -> Path:
-    """Directory of the ``BENCH_*.json`` metrics trajectory files."""
+    """Directory of the ``BENCH_*.json`` metrics trajectory files.
+
+    Created on first access: the trajectory directory is part of the
+    harness contract (ROADMAP/CI reference it), so a fresh checkout
+    must not silently drop metrics because the directory is absent.
+    """
     raw = os.environ.get("REPRO_BENCH_METRICS_DIR", "").strip()
-    if raw:
-        return Path(raw)
-    return Path(__file__).resolve().parent / "metrics"
+    path = (Path(raw) if raw
+            else Path(__file__).resolve().parent / "metrics")
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError:  # pragma: no cover - read-only checkout
+        pass
+    return path
 
 
 def snapshot_metrics(experiment: str, case: str, result,

@@ -6,12 +6,14 @@ Usage::
                            [--queue-bound K] [--fair] [--fresh N]
                            [--counterexample] [--workers N] [--stats]
                            [--engine shared|seed] [--lint-first]
+                           [--shard i/N] [--shard-output FILE]
                            [--trace FILE.jsonl] [--metrics-json FILE]
     python -m repro check SPEC.dws            # input-boundedness only
     python -m repro lint SPEC.dws|LIBRARY [--format text|json|sarif]
                          [--output FILE] [--strict]
     python -m repro simulate SPEC.dws [--steps N] [--seed S]
     python -m repro profile SPEC.dws|LIBRARY [--workers N] ...
+    python -m repro merge-shards shard_*.json [--output FILE]
 
 ``verify`` runs every ``property`` statement in the document (or just
 ``--property NAME``) and reports verdicts; the exit status is 0 iff all
@@ -20,6 +22,15 @@ sweep out across N processes (``--workers 0``: all cores; default: the
 ``REPRO_WORKERS`` environment variable, else sequential); ``--stats``
 prints the full per-property statistics including task counts, compute
 time, and rule-cache hit rates of the parallel sweep.
+
+``--shard i/N`` (on ``verify`` and ``profile``) runs only the i-th of
+N deterministic slices of the valuation sweep and writes a mergeable
+fragment (verdicts, per-task stats, metrics snapshot, pickled
+counterexamples); run every shard on its own machine, collect the
+fragments, and ``merge-shards`` reassembles the exact unsharded
+verdict, decisive counterexample, and fleet-wide metrics (see
+:mod:`repro.verifier.shards`).  A shard's own exit status reflects
+only its slice; the merged exit status is the global verdict.
 
 ``lint`` runs the full static analyzer (input-boundedness, dead and
 shadowed rules, reachability, channel discipline, and the decidability
@@ -44,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 import time
 from pathlib import Path
@@ -62,6 +74,37 @@ from .verifier import verification_domain, verify
 #: Library examples profilable without a .dws file: name -> loader
 #: returning (composition, databases, properties, valuation_candidates).
 PROFILE_LIBRARIES = ("loan", "ecommerce", "travel")
+
+
+def _parse_shard(text: str | None) -> tuple[int, int] | None:
+    """Parse a ``--shard i/N`` selector (e.g. ``0/3``)."""
+    if text is None:
+        return None
+    match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if not match:
+        raise ReproError(
+            f"--shard expects i/N (e.g. 0/3), got {text!r}"
+        )
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or index >= count:
+        raise ReproError(
+            f"--shard {text}: need 0 <= i < N"
+        )
+    return (index, count)
+
+
+def _write_shard_fragment(args: argparse.Namespace,
+                          shard: tuple[int, int],
+                          results: list, composition) -> None:
+    """Write this shard's verdict/stats fragment for ``merge-shards``."""
+    from .verifier import shard_fragment
+
+    index, count = shard
+    path = args.shard_output or f"shard_{index}of{count}.json"
+    fragment = shard_fragment(results, shard, composition)
+    Path(path).write_text(json.dumps(fragment, indent=2) + "\n")
+    print(f"shard {index}/{count}: fragment written to {path}",
+          file=sys.stderr)
 
 
 def _semantics(args: argparse.Namespace) -> ChannelSemantics:
@@ -172,15 +215,18 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.fresh is not None:
         domain = verification_domain(composition, [], databases,
                                      fresh_count=args.fresh)
+    shard = _parse_shard(args.shard)
     all_ok = True
     entries: list[dict] = []
+    results: list = []
     for name, sentence in sorted(sentences.items()):
         result = verify(
             composition, sentence, databases,
             semantics=_semantics(args), domain=domain,
             fair_scheduling=args.fair, workers=args.workers,
-            engine=args.engine,
+            engine=args.engine, shard=shard,
         )
+        results.append(result)
         entries.append(_result_entry(name, result))
         if args.stats:
             print(f"{name}:")
@@ -194,6 +240,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
             all_ok = False
             if args.counterexample and result.counterexample:
                 print(result.counterexample.describe(composition))
+    if shard is not None:
+        _write_shard_fragment(args, shard, results, composition)
     _write_metrics_json(args.metrics_json, "verify", entries)
     return 0 if all_ok else 1
 
@@ -427,6 +475,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    shard = _parse_shard(args.shard)
     seconds_before = phase_seconds()
     counts_before = phase_counts()
     t0 = time.perf_counter()
@@ -435,7 +484,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     entries: list[dict] = []
     for name, prop in sorted(properties.items()):
         kwargs = dict(domain=domain, workers=args.workers,
-                      fair_scheduling=args.fair, engine=args.engine)
+                      fair_scheduling=args.fair, engine=args.engine,
+                      shard=shard)
         if semantics is not None:
             kwargs["semantics"] = semantics
         if candidates:
@@ -498,12 +548,78 @@ def cmd_profile(args: argparse.Namespace) -> int:
             print(f"    {worker}: tasks={slot['tasks']} "
                   f"compute={slot['task_seconds']:.3f}s {phases}{rate}")
 
+    if shard is not None:
+        _write_shard_fragment(args, shard, results, composition)
     _write_metrics_json(args.metrics_json, "profile", entries)
     return 0 if all_ok else 1
 
 
 # ---------------------------------------------------------------------------
+# merge-shards
+
+
+def cmd_merge_shards(args: argparse.Namespace) -> int:
+    from .obs import merge_registry_snapshot
+    from .verifier import merge_fragments, result_from_merged
+
+    fragments = []
+    for path in args.fragments:
+        try:
+            fragments.append(json.loads(Path(path).read_text()))
+        except (OSError, json.JSONDecodeError) as err:
+            raise ReproError(f"cannot read fragment {path}: {err}")
+    try:
+        merged = merge_fragments(fragments)
+    except ValueError as err:
+        raise ReproError(str(err))
+
+    # fold the merged registry into this process so --metrics-json (and
+    # anything else reading REGISTRY) reports fleet-wide totals
+    merge_registry_snapshot(merged["metrics"])
+
+    all_ok = True
+    entries: list[dict] = []
+    for entry in merged["properties"]:
+        result = result_from_merged(entry)
+        stats = result.stats
+        where = ""
+        if entry["decisive_shard"] is not None:
+            where = (f", decisive: order {entry['decisive_order']} "
+                     f"in shard {entry['decisive_shard']}")
+        print(f"{result.property_text}: {result.verdict}  "
+              f"(valuations={stats.valuations_checked}, "
+              f"states={stats.system_states}, "
+              f"product nodes={stats.product_nodes_visited}{where})")
+        if not result.satisfied:
+            all_ok = False
+            if args.counterexample and entry["counterexample"]:
+                print(entry["counterexample"]["text"])
+        entries.append({
+            "property": entry["property"],
+            "verdict": entry["verdict"],
+            "stats": dict(entry["stats"],
+                          decisive_order=entry["decisive_order"]),
+        })
+    if args.output:
+        Path(args.output).write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"merged document written to {args.output}",
+              file=sys.stderr)
+    _write_metrics_json(args.metrics_json, "merge-shards", entries)
+    return 0 if all_ok else 1
+
+
+# ---------------------------------------------------------------------------
 # parser
+
+
+def _add_shard_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--shard", metavar="i/N", default=None,
+                   help="run only the i-th of N deterministic shards "
+                        "of the valuation sweep and write a mergeable "
+                        "fragment (see `repro merge-shards`)")
+    p.add_argument("--shard-output", metavar="FILE", default=None,
+                   dest="shard_output",
+                   help="fragment path (default: shard_{i}of{N}.json)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -555,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run the full static analyzer before "
                                "verifying (reusing the parsed spec); "
                                "refuse to verify on lint errors")
+    _add_shard_options(p_verify)
     p_verify.set_defaults(func=cmd_verify)
 
     p_check = sub.add_parser("check", help="input-boundedness check only")
@@ -600,7 +717,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--engine", choices=("shared", "seed"),
                         default=None,
                         help="search engine (see `repro verify`)")
+    _add_shard_options(p_prof)
     p_prof.set_defaults(func=cmd_profile)
+
+    p_merge = sub.add_parser(
+        "merge-shards",
+        help="reassemble the global verdict from --shard fragments",
+    )
+    p_merge.add_argument("fragments", nargs="+",
+                         help="the N fragment files written by "
+                              "`repro verify --shard i/N`")
+    p_merge.add_argument("--counterexample", action="store_true",
+                         help="print the decisive counterexample runs")
+    p_merge.add_argument("--output", metavar="FILE", default=None,
+                         help="write the merged document as JSON")
+    p_merge.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                         help="write span/instant trace events as JSONL")
+    p_merge.add_argument("--metrics-json", metavar="FILE", default=None,
+                         dest="metrics_json",
+                         help="write a metrics snapshot as JSON")
+    p_merge.set_defaults(func=cmd_merge_shards)
 
     return parser
 

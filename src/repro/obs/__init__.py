@@ -23,7 +23,7 @@ ship their phase/cache deltas back to the driver inside
 from .metrics import (
     DEFAULT_TIME_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
     REGISTRY, counter, counters_snapshot, diff_numeric, gauge, histogram,
-    merge_counters, merge_numeric,
+    merge_counters, merge_numeric, merge_registry_snapshot,
 )
 from .phases import (
     LINT_PHASE_PREFIX, PHASE_EXPAND, PHASE_FO_EVAL, PHASE_IB_CHECK,
@@ -58,7 +58,8 @@ __all__ = [
     "PHASE_VALUATIONS", "REGISTRY", "configure_tracing", "counter",
     "counters_snapshot", "diff_numeric", "gauge", "histogram", "instant",
     "lint_phase", "merge_counters",
-    "merge_numeric", "phase", "phase_counts", "phase_seconds",
+    "merge_numeric", "merge_registry_snapshot", "phase",
+    "phase_counts", "phase_seconds",
     "phase_snapshot", "reset_for_worker", "trace_path",
     "tracing_enabled",
 ]

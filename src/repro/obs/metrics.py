@@ -176,6 +176,40 @@ def merge_counters(delta: Mapping) -> None:
             REGISTRY.counter(name).inc(value)
 
 
+def merge_registry_snapshot(snapshot: Mapping) -> None:
+    """Fold a full ``repro.metrics/1`` snapshot into this registry.
+
+    The shard-merge primitive: each shard of a distributed sweep writes
+    ``REGISTRY.snapshot()`` into its fragment, and ``repro merge-shards``
+    replays every fragment through this function to reconstruct
+    fleet-wide totals.  Counters and phases add; gauges take the
+    maximum (they are high-water marks or sizes of per-process
+    structures, where "largest seen anywhere" is the honest merge);
+    histograms add bucket-wise when boundaries agree and are skipped
+    otherwise (mismatched boundaries cannot be combined losslessly).
+    """
+    schema = snapshot.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"cannot merge metrics snapshot with schema {schema!r}; "
+            f"expected {SCHEMA!r}"
+        )
+    merge_counters(snapshot.get("counters", {}))
+    for name, value in snapshot.get("gauges", {}).items():
+        REGISTRY.gauge(name).set_max(value)
+    for name, snap in snapshot.get("histograms", {}).items():
+        hist = REGISTRY.histogram(name, tuple(snap["boundaries"]))
+        if hist.boundaries != tuple(snap["boundaries"]):
+            continue
+        for i, count in enumerate(snap["counts"]):
+            hist.counts[i] += count
+        hist.total += snap["sum"]
+        hist.count += snap["count"]
+    for name, entry in snapshot.get("phases", {}).items():
+        merge_numeric(REGISTRY.phase_seconds, {name: entry["seconds"]})
+        merge_numeric(REGISTRY.phase_counts, {name: entry["count"]})
+
+
 def merge_numeric(into: dict, extra: Mapping) -> dict:
     """Sum *extra*'s numeric values into *into*, key by key (in place).
 

@@ -35,6 +35,7 @@ verdicts, counterexample lassos, and search node counts are identical
 from __future__ import annotations
 
 import os
+import pickle
 from array import array
 from collections import deque
 from typing import Iterator
@@ -89,19 +90,50 @@ class StateInterner:
         return len(self._states)
 
 
+def _as_q_array(data) -> array:
+    """Coerce CSR buffer data back into an owned ``array('q')``.
+
+    Accepts whatever the pickle layer hands us: an ``array`` (older
+    pickles), in-band ``bytes``/``bytearray`` (a :class:`pickle.
+    PickleBuffer` serialized without out-of-band transport), or a
+    ``memoryview`` (out-of-band buffer, or a shared-memory cast).
+    """
+    if isinstance(data, array):
+        return data
+    if isinstance(data, memoryview):
+        data = data.cast("B")
+    out = array("q")
+    out.frombytes(bytes(data))
+    return out
+
+
+def _rebuild_graph(states, initial_ids, offsets, targets, budget
+                   ) -> "ExploredGraph":
+    return ExploredGraph(states, tuple(initial_ids),
+                         _as_q_array(offsets), _as_q_array(targets), budget)
+
+
 class ExploredGraph:
     """A frozen reachable snapshot graph in CSR form (picklable).
 
     ``states[i]`` is the snapshot with interned id ``i``; the successors
     of ``i`` are ``targets[offsets[i]:offsets[i+1]]``, in the exact
     order :func:`repro.runtime.step.successors` produced them.
+
+    ``offsets``/``targets`` are normally ``array('q')`` buffers, but a
+    graph attached from shared memory carries ``memoryview`` casts over
+    the mapping instead (see :mod:`repro.verifier.shm`) -- every access
+    pattern used here (indexing, slicing, ``len``) behaves identically.
+    Pickling always materializes owned arrays, and under protocol 5 the
+    CSR buffers travel as :class:`pickle.PickleBuffer` so transports
+    that support out-of-band buffers skip one copy.
     """
 
     __slots__ = ("states", "initial_ids", "offsets", "targets", "budget")
 
     def __init__(self, states: tuple[GlobalState, ...],
                  initial_ids: tuple[int, ...],
-                 offsets: array, targets: array,
+                 offsets, targets,
                  budget: SearchBudget) -> None:
         self.states = states
         self.initial_ids = initial_ids
@@ -117,13 +149,25 @@ class ExploredGraph:
     def num_edges(self) -> int:
         return len(self.targets)
 
-    def __getstate__(self) -> tuple:
-        return (self.states, self.initial_ids, self.offsets,
-                self.targets, self.budget)
+    @property
+    def csr_nbytes(self) -> int:
+        """Bytes of the two CSR buffers (the zero-copy payload)."""
+        itemsize = array("q").itemsize
+        return (len(self.offsets) + len(self.targets)) * itemsize
 
-    def __setstate__(self, state: tuple) -> None:
-        (self.states, self.initial_ids, self.offsets,
-         self.targets, self.budget) = state
+    def __reduce_ex__(self, protocol: int):
+        offsets = _as_q_array(self.offsets)
+        targets = _as_q_array(self.targets)
+        if protocol >= 5:
+            return (_rebuild_graph, (
+                self.states, tuple(self.initial_ids),
+                pickle.PickleBuffer(offsets), pickle.PickleBuffer(targets),
+                self.budget,
+            ))
+        return (_rebuild_graph, (
+            self.states, tuple(self.initial_ids), offsets, targets,
+            self.budget,
+        ))
 
 
 class SharedExploration:

@@ -42,7 +42,7 @@ from .domain import (
 from .graph import SharedExploration, resolve_engine
 from .parallel import (
     check_one_valuation, parallel_verify, parallel_verify_all,
-    parallel_verify_over_databases, resolve_workers,
+    parallel_verify_over_databases, resolve_shard, resolve_workers,
 )
 from .product import SearchBudget, TransitionCache
 from .result import (
@@ -107,6 +107,7 @@ def verify(composition: Composition,
            fair_scheduling: bool = False,
            workers: int | None = None,
            engine: str | SharedExploration | None = None,
+           shard: tuple[int, int] | None = None,
            ) -> VerificationResult:
     """Decide ``composition |= prop`` over the given databases.
 
@@ -163,6 +164,15 @@ def verify(composition: Composition,
         share one frozen graph across a property batch).  Verdicts,
         counterexamples, and search node counts are identical either
         way (Theorem 3.4's graph is valuation-independent).
+    shard:
+        ``(index, count)`` restricts the sweep to the valuations whose
+        global order falls in this shard's residue class
+        (``order % count == index``), for splitting one sweep across
+        machines.  Each shard emits a fragment; ``repro merge-shards``
+        reassembles the global verdict (see
+        :mod:`repro.verifier.shards`).  Sharding always routes through
+        the task-grid engine -- it cannot combine with a caller-supplied
+        ``transition_cache`` or :class:`SharedExploration` instance.
     """
     sentence = _as_sentence(prop, composition)
     _check_restrictions(composition, sentence, check_input_bounded)
@@ -184,8 +194,16 @@ def verify(composition: Composition,
         ]
 
     n_workers = resolve_workers(workers)
-    if (n_workers > 1 and transition_cache is None
-            and len(valuations) > 1
+    shard = resolve_shard(shard)
+    if shard is not None and (transition_cache is not None
+                              or isinstance(engine, SharedExploration)):
+        raise ValueError(
+            "shard= cannot combine with transition_cache= or a "
+            "SharedExploration engine instance"
+        )
+    if ((n_workers > 1 or shard is not None)
+            and transition_cache is None
+            and (len(valuations) > 1 or shard is not None)
             and not isinstance(engine, SharedExploration)):
         return parallel_verify(
             composition, sentence, databases, semantics, domain,
@@ -195,6 +213,7 @@ def verify(composition: Composition,
             env_one_action_per_move=env_one_action_per_move,
             fair_scheduling=fair_scheduling,
             engine=resolve_engine(engine),
+            shard=shard,
         )
 
     stats = VerifierStats()
@@ -230,6 +249,7 @@ def verify(composition: Composition,
             stats.nba_states_total += outcome.nba_states
             stats.merge_search(outcome.blue_visited, outcome.red_visited)
             if outcome.violated:
+                stats.decisive_order = index
                 result_counterexample = Counterexample(
                     valuation={
                         var.name: value
@@ -345,6 +365,7 @@ def verify_all(composition: Composition,
                budget: SearchBudget | None = None,
                workers: int | None = None,
                engine: str | None = None,
+               shard: tuple[int, int] | None = None,
                ) -> list[VerificationResult]:
     """Verify several properties sharing one transition-system exploration.
 
@@ -361,7 +382,8 @@ def verify_all(composition: Composition,
 
     engine_mode = resolve_engine(engine)
     n_workers = resolve_workers(workers)
-    if n_workers > 1 and sentences:
+    shard = resolve_shard(shard)
+    if (n_workers > 1 or shard is not None) and sentences:
         for sentence in sentences:
             _check_restrictions(composition, sentence, check_input_bounded)
         valuations_per_sentence = [
@@ -370,7 +392,7 @@ def verify_all(composition: Composition,
         return parallel_verify_all(
             composition, sentences, databases, semantics, domain,
             valuations_per_sentence, n_workers, budget=budget,
-            engine=engine_mode,
+            engine=engine_mode, shard=shard,
         )
 
     cache = TransitionCache(

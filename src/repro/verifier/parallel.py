@@ -4,34 +4,47 @@ The verifier's outer loop is embarrassingly parallel: each canonical
 valuation of the property's closure variables (times each candidate
 database, for enumeration sweeps) spawns an independent Büchi
 translation plus nested-DFS emptiness search.  This module fans that
-(valuation, database) task grid out across worker processes:
+(valuation, database) task grid out across worker processes, organized
+in three planes:
 
-* **Deterministic ordering.**  Tasks carry a total order matching the
-  sequential sweep.  A group's verdict is decided by the *lowest-order*
-  violated task, so ``workers=N`` returns the same verdict, the same
-  decisive valuation, and the same counterexample lasso as
-  ``workers=1`` (the per-task search itself is deterministic).
+* **Zero-copy graph plane.**  Under the shared engine the driver
+  expands the valuation-independent reachable graph once (Theorem 3.4)
+  and publishes its CSR arrays in a ``multiprocessing.shared_memory``
+  segment (:mod:`repro.verifier.shm`); workers *attach* read-only views
+  instead of unpickling private copies, so seeding cost no longer grows
+  with worker count.  When shared memory is unavailable the frozen
+  graph ships pickled inside the payload (the PR 5 path), and when a
+  pool cannot be used at all the sweep runs sequentially in-process.
+* **Work-stealing scheduler.**  Tasks are chunked into valuation-group
+  batches and dealt round-robin onto per-worker deques; a worker pops
+  from the front of its own deque and, when empty, steals from the back
+  of a victim's.  Scheduling is dynamic, but the *decision* is not:
+  a group's verdict is decided by the lowest-order violated task, so
+  any schedule -- any worker count, any steal pattern -- returns the
+  same verdict, the same decisive valuation, and the same
+  counterexample lasso as the sequential sweep.
+* **Shard plane.**  ``shard=(i, N)`` restricts the sweep to the i-th
+  residue class of the task order (``order % N == i``) while keeping
+  global order numbers, so independent machines can each run one shard
+  and a later ``repro merge-shards`` reassembles the global verdict by
+  the same lowest-order-wins rule (:mod:`repro.verifier.shards`).
+
 * **Early cancellation.**  As soon as any worker finds an accepting
   lasso it publishes the violated order in a shared array; workers poll
   it from inside the emptiness search (:class:`~repro.verifier.search.
   SearchCancelled`) and abandon in-flight tasks that can no longer
   affect the verdict (only tasks *later* in the order are cancelled --
   earlier ones must still complete to keep the decision deterministic).
-* **Per-task stats.**  Every task reports wall time and node counts;
-  the driver aggregates them into :class:`VerifierStats` (``per_task``,
-  ``task_seconds``, ``tasks_run``, ``tasks_cancelled``).  Only tasks at
-  or before the decisive order contribute to the headline counters, so
-  ``product_nodes_visited`` matches the sequential sweep exactly.
-* **Graceful fallback.**  ``workers<=1``, single-task grids, payloads
-  that fail to pickle, or a broken worker pool all fall back to the
-  in-process sequential sweep -- same results, one core.
+* **Per-task stats.**  Every task reports wall time, node counts, and
+  observability deltas; the driver aggregates them into
+  :class:`VerifierStats`.  Only tasks at or before the decisive order
+  contribute to the headline counters, so ``product_nodes_visited``
+  matches the sequential sweep exactly.
 
-Workers are seeded once (via the pool initializer) with the pickled
-:class:`SweepPayload`; each worker lazily builds a private
-:class:`TransitionCache` per database context and keeps it across the
-tasks it executes, so transition exploration is paid once per worker
-rather than once per task.  The rule-firing memo in
-:mod:`repro.runtime.step` is process-local and cleared on worker start.
+All cross-process serialization (payload, batch plan, result messages)
+uses ``pickle.HIGHEST_PROTOCOL`` explicitly -- the multiprocessing
+default is protocol 4, which measurably inflates worker seeding cost
+on snapshot-heavy payloads.
 """
 
 from __future__ import annotations
@@ -39,9 +52,9 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import queue as queue_mod
 import time
-from concurrent.futures import as_completed
-from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
@@ -51,8 +64,9 @@ from ..ltl.formulas import land, latom, lfinally, lglobally, lnot
 from ..ltl.translate import ltl_to_buchi
 from ..ltlfo.formulas import LTLFOSentence
 from ..obs import (
-    PHASE_SWEEP, counters_snapshot, diff_numeric, instant, merge_counters,
-    phase, phase_counts, phase_seconds, reset_for_worker,
+    PHASE_SWEEP, REGISTRY, counter, counters_snapshot, diff_numeric,
+    gauge, instant, merge_counters, merge_numeric, phase, phase_counts,
+    phase_seconds, reset_for_worker,
 )
 from ..runtime.run import Lasso
 from ..runtime.step import (
@@ -70,9 +84,19 @@ from .result import (
     Counterexample, TaskStats, VerificationResult, VerifierStats,
 )
 from .search import SearchCancelled, find_accepting_lasso
+from .shm import GraphSegment, ShmGraphHandle, attach_graph, shm_available
 
 #: Sentinel order meaning "no violation found yet" in the cancel array.
 _UNDECIDED = 2 ** 62
+
+#: Target number of steal batches dealt per worker.  Small enough that
+#: a batch amortizes per-task queue traffic, large enough that an
+#: unlucky initial deal leaves real work to steal.
+STEAL_BATCHES_PER_WORKER = 4
+
+#: Seconds the driver waits on the result queue before re-checking
+#: worker liveness (a killed worker never sends anything).
+_POLL_SECONDS = 0.2
 
 
 # ---------------------------------------------------------------------------
@@ -103,6 +127,36 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+def resolve_shard(shard: tuple[int, int] | None) -> tuple[int, int] | None:
+    """Validate a ``shard=(i, N)`` argument (None passes through)."""
+    if shard is None:
+        return None
+    index, count = shard
+    if count < 1 or not (0 <= index < count):
+        raise ValueError(
+            f"shard index/count {index}/{count} invalid: need "
+            "0 <= index < count"
+        )
+    return (int(index), int(count))
+
+
+def shard_filter(tasks: Sequence["SweepTask"],
+                 shard: tuple[int, int] | None) -> list["SweepTask"]:
+    """The subset of *tasks* owned by this shard (orders stay global).
+
+    Partitioning is round-robin on the task order within each group
+    (``order % N == i``): deterministic, balanced even when early
+    orders are systematically cheaper, and independent of the engine,
+    worker count, and batch size.  A merged N-shard run therefore
+    covers exactly the unsharded task set, each task exactly once.
+    """
+    shard = resolve_shard(shard)
+    if shard is None:
+        return list(tasks)
+    index, count = shard
+    return [t for t in tasks if t.order % count == index]
+
+
 # ---------------------------------------------------------------------------
 # the task grid
 
@@ -117,7 +171,17 @@ class SweepContext:
 
 @dataclass(frozen=True)
 class SweepPayload:
-    """Everything a worker needs, shipped once via the pool initializer."""
+    """Everything a worker needs, shipped once per worker.
+
+    Exactly one of ``graph_handle`` / ``frozen_graph`` is set when the
+    driver pre-expanded the reachable graph: ``graph_handle`` names a
+    shared-memory segment workers attach to (zero-copy), while
+    ``frozen_graph`` embeds the pickled graph in the payload itself
+    (the fallback when shared memory is unavailable).  The driver-side
+    copy of a prepared payload keeps ``frozen_graph`` populated even on
+    the shm path so the sequential fallback never re-expands;
+    :func:`payload_to_bytes` strips it from what workers receive.
+    """
 
     composition: Composition
     contexts: tuple[SweepContext, ...]
@@ -130,9 +194,10 @@ class SweepPayload:
     budget: SearchBudget | None = None
     #: "shared" (interned exploration, frozen-graph reuse) or "seed".
     engine: str = "shared"
-    #: Pre-expanded reachable graph shipped by the driver so workers
-    #: never re-expand (single-context payloads only).
+    #: Pre-expanded reachable graph (pickle-fallback shipping path).
     frozen_graph: ExploredGraph | None = None
+    #: Shared-memory descriptor of the pre-expanded graph (zero-copy).
+    graph_handle: ShmGraphHandle | None = None
 
 
 @dataclass(frozen=True)
@@ -283,6 +348,35 @@ def check_one_valuation(composition: Composition,
 
 
 # ---------------------------------------------------------------------------
+# payload serialization
+
+
+def payload_to_bytes(payload: SweepPayload, workers: int = 1) -> bytes:
+    """Pickle the worker payload (``HIGHEST_PROTOCOL``, graph-aware).
+
+    On the zero-copy path the embedded ``frozen_graph`` is stripped --
+    workers attach via ``graph_handle`` instead -- and
+    ``graph.shm_bytes_shipped`` stays untouched (0 graph bytes cross
+    the process boundary).  On the fallback path the counter records
+    the graph bytes each of the *workers* workers will deserialize.
+    """
+    shipped = payload
+    if payload.graph_handle is not None and payload.frozen_graph is not None:
+        shipped = replace(payload, frozen_graph=None)
+    data = pickle.dumps(shipped, protocol=pickle.HIGHEST_PROTOCOL)
+    if shipped.frozen_graph is not None and workers > 1:
+        without_graph = pickle.dumps(
+            replace(shipped, frozen_graph=None),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        counter("graph.shm_bytes_shipped").inc(
+            max(0, len(data) - len(without_graph)) * workers
+        )
+    gauge("sweep.payload_bytes").set(len(data))
+    return data
+
+
+# ---------------------------------------------------------------------------
 # worker side
 
 _WORKER: dict = {}
@@ -314,11 +408,13 @@ def _context_cache(payload: SweepPayload, ctx_idx: int, caches: dict
                               SharedExploration | None]:
     """The ``(transition cache, shared engine)`` pair for one context.
 
-    A driver-shipped frozen graph is served as-is (the executor never
-    expands anything); otherwise a private cache is built, wrapped in a
-    :class:`SharedExploration` under the shared engine.  The second
-    task that lands on the same context freezes the engine, so batched
-    valuations walk the CSR graph instead of re-querying the cache.
+    Priority for context 0 of a prepared payload: attach the
+    shared-memory graph (zero-copy), else serve the embedded frozen
+    graph (the executor never expands anything either way).  Otherwise
+    a private cache is built, wrapped in a :class:`SharedExploration`
+    under the shared engine; the second task that lands on the same
+    context freezes the engine, so batched valuations walk the CSR
+    graph instead of re-querying the cache.
     """
     entry = caches.get(ctx_idx)
     if entry is not None:
@@ -330,7 +426,13 @@ def _context_cache(payload: SweepPayload, ctx_idx: int, caches: dict
     # contexts partition the state space, so old entries cannot be
     # reused and only pin memory
     caches.clear()
-    if payload.frozen_graph is not None and ctx_idx == 0:
+    if payload.graph_handle is not None and ctx_idx == 0:
+        graph, segment = attach_graph(payload.graph_handle)
+        engine = SharedExploration.from_graph(graph, payload.composition)
+        # the mapping must outlive the graph's memoryview casts
+        engine.shm_mapping = segment
+        entry = (None, engine)
+    elif payload.frozen_graph is not None and ctx_idx == 0:
         entry = (None, SharedExploration.from_graph(
             payload.frozen_graph, payload.composition
         ))
@@ -396,16 +498,22 @@ def _execute_task(payload: SweepPayload, task: SweepTask,
     )
 
 
-def _run_task(task: SweepTask) -> TaskOutcome:
-    payload: SweepPayload = _WORKER["payload"]
-    cancel = _WORKER["cancel"]
+def _run_one_task(payload: SweepPayload, task: SweepTask, cancel,
+                  caches: dict) -> TaskOutcome:
+    """Execute one task against the shared cancel array (worker side)."""
 
     def should_stop() -> bool:
         return cancel is not None and cancel[task.group] < task.order
 
+    # test hook: die exactly where a real crash would hurt most --
+    # mid-sweep, after claiming work (crash-robustness suite)
+    kill_order = os.environ.get("REPRO_TEST_KILL_TASK", "")
+    if kill_order and int(kill_order) == task.order:
+        os._exit(17)
+
     if should_stop():
         return _cancelled_outcome(task)
-    cache, engine = _context_cache(payload, task.ctx, _WORKER["caches"])
+    cache, engine = _context_cache(payload, task.ctx, caches)
     outcome = _execute_task(payload, task, cache, engine, should_stop)
     if outcome.lasso_cycle is not None and cancel is not None:
         with cancel.get_lock():
@@ -422,6 +530,125 @@ def _cancelled_outcome(task: SweepTask) -> TaskOutcome:
         blue_visited=0, red_visited=0, states_expanded=0,
         wall_seconds=0.0, worker=_worker_id(),
     )
+
+
+# ---------------------------------------------------------------------------
+# work-stealing scheduler
+
+
+def plan_batches(ordered: Sequence[SweepTask],
+                 workers: int) -> list[tuple[SweepTask, ...]]:
+    """Chunk the ordered task grid into steal units.
+
+    Batches never span a (group, ctx) boundary -- a batch is a
+    contiguous run of valuations of one property over one database
+    context, so executing it reuses one exploration and its letter
+    caches.  The chunk size targets ``STEAL_BATCHES_PER_WORKER``
+    batches per worker: coarse enough to amortize queue traffic, fine
+    enough that stealing can rebalance a skewed grid.
+    """
+    if not ordered:
+        return []
+    size = max(1, -(-len(ordered) // (workers * STEAL_BATCHES_PER_WORKER)))
+    batches: list[tuple[SweepTask, ...]] = []
+    run: list[SweepTask] = []
+    run_key = None
+    for task in ordered:
+        key = (task.group, task.ctx)
+        if run and (key != run_key or len(run) >= size):
+            batches.append(tuple(run))
+            run = []
+        run_key = key
+        run.append(task)
+    if run:
+        batches.append(tuple(run))
+    return batches
+
+
+def _claim_batch(worker_idx: int, n_workers: int, cap: int,
+                 slots, heads, tails, locks) -> tuple[int, bool] | None:
+    """Pop the next batch id: own deque front, else steal a victim's back.
+
+    Returns ``(batch_id, stolen)`` or None when every deque is empty
+    (all batches are claimed; in-flight ones belong to their claimers).
+    Owners consume from the front -- lowest global order first, which
+    reaches decisive violations sooner -- while thieves take from the
+    back, the tasks the owner would reach last.
+    """
+    with locks[worker_idx]:
+        if heads[worker_idx] < tails[worker_idx]:
+            batch = slots[worker_idx * cap + heads[worker_idx]]
+            heads[worker_idx] += 1
+            return int(batch), False
+    for offset in range(1, n_workers):
+        victim = (worker_idx + offset) % n_workers
+        with locks[victim]:
+            if heads[victim] < tails[victim]:
+                tails[victim] -= 1
+                return int(slots[victim * cap + tails[victim]]), True
+    return None
+
+
+def _put(results, message) -> None:
+    """Ship one result message (explicitly protocol-5 pickled)."""
+    results.put(pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _worker_main(worker_idx: int, n_workers: int, cap: int,
+                 payload_bytes: bytes, batches_bytes: bytes,
+                 cancel, slots, heads, tails, locks, results) -> None:
+    """Pool worker: claim batches (own deque, then steals) until dry.
+
+    Ships one ``("outcome", ...)`` message per task and a final
+    ``("done", ...)`` message carrying the observability residual --
+    registry movement not attributable to any task window (payload
+    deserialization, graph attach, steal bookkeeping) -- so driver-side
+    metrics stay truthful under any schedule.
+    """
+    try:
+        _init_worker(payload_bytes, cancel)
+        payload: SweepPayload = _WORKER["payload"]
+        caches: dict = _WORKER["caches"]
+        batches: list[tuple[SweepTask, ...]] = pickle.loads(batches_bytes)
+        steals = counter("sweep.steals")
+        stolen_tasks = counter("sweep.tasks_stolen")
+        executed = counter("sweep.tasks_executed")
+        shipped_counters: dict = {}
+        shipped_seconds: dict = {}
+        shipped_counts: dict = {}
+        while True:
+            claim = _claim_batch(worker_idx, n_workers, cap, slots,
+                                 heads, tails, locks)
+            if claim is None:
+                break
+            batch_id, stolen = claim
+            batch = batches[batch_id]
+            if stolen:
+                steals.inc()
+                stolen_tasks.inc(len(batch))
+            for task in batch:
+                outcome = _run_one_task(payload, task, cancel, caches)
+                executed.inc()
+                merge_numeric(shipped_counters, outcome.counters)
+                merge_numeric(shipped_seconds, outcome.phase_seconds)
+                merge_numeric(shipped_counts, outcome.phase_counts)
+                _put(results, ("outcome", outcome))
+        residual = {
+            "counters": diff_numeric(counters_snapshot(), shipped_counters),
+            "phase_seconds": diff_numeric(phase_seconds(), shipped_seconds),
+            "phase_counts": diff_numeric(phase_counts(), shipped_counts),
+        }
+        _put(results, ("done", worker_idx, residual))
+    except BaseException as exc:  # ship the failure, then die loudly
+        try:
+            try:
+                _put(results, ("error", worker_idx, exc))
+            except Exception:
+                _put(results, ("error", worker_idx,
+                               RuntimeError(f"{type(exc).__name__}: {exc}")))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+        raise
 
 
 # ---------------------------------------------------------------------------
@@ -451,6 +678,9 @@ def _run_sweep_sequential(payload: SweepPayload,
 def _mp_context():
     import multiprocessing
     methods = multiprocessing.get_all_start_methods()
+    preferred = os.environ.get("REPRO_START_METHOD", "").strip()
+    if preferred and preferred in methods:
+        return multiprocessing.get_context(preferred)
     method = "fork" if "fork" in methods else methods[0]
     return multiprocessing.get_context(method)
 
@@ -461,61 +691,113 @@ def run_sweep(payload: SweepPayload, tasks: Sequence[SweepTask],
 
     Falls back to the sequential in-process sweep when parallelism
     cannot help (``workers<=1``, fewer than two tasks) or cannot be used
-    safely (payload fails to pickle, worker pool breaks).
+    safely (payload fails to pickle, worker pool breaks).  A payload
+    prepared for shared memory keeps its driver-side ``frozen_graph``,
+    so even the post-crash sequential rerun never re-expands the state
+    space.
     """
     with phase(PHASE_SWEEP):
         if workers <= 1 or len(tasks) <= 1:
             return _run_sweep_sequential(payload, tasks), False
         try:
-            payload_bytes = pickle.dumps(
-                payload, protocol=pickle.HIGHEST_PROTOCOL
-            )
+            payload_bytes = payload_to_bytes(payload, workers)
         except Exception:
             return _run_sweep_sequential(payload, tasks), False
         try:
-            return _run_sweep_pool(payload_bytes, tasks, workers), True
+            return _run_sweep_pool(payload, payload_bytes, tasks,
+                                   workers), True
         except BrokenProcessPool:
+            counter("sweep.pool_broken").inc()
             return _run_sweep_sequential(payload, tasks), False
 
 
-def _run_sweep_pool(payload_bytes: bytes, tasks: Sequence[SweepTask],
+def _check_liveness(procs, pending: int) -> None:
+    """Raise :class:`BrokenProcessPool` if the pool can no longer finish."""
+    if any(p.exitcode not in (None, 0) for p in procs):
+        dead = [p.exitcode for p in procs if p.exitcode not in (None, 0)]
+        raise BrokenProcessPool(
+            f"sweep worker died with exit code(s) {dead}"
+        )
+    if pending > 0 and all(p.exitcode is not None for p in procs):
+        raise BrokenProcessPool(
+            f"all sweep workers exited with {pending} tasks unaccounted"
+        )
+
+
+def _run_sweep_pool(payload: SweepPayload, payload_bytes: bytes,
+                    tasks: Sequence[SweepTask],
                     workers: int) -> list[TaskOutcome]:
+    """The work-stealing pool: deal batches, collect outcomes, stay live.
+
+    The driver is purely a collector -- all scheduling decisions happen
+    in the workers via the shared deque arrays, and all cancellation
+    happens via the shared cancel array -- so a hot grid never
+    serializes on the driver loop.
+    """
     ordered = sorted(tasks, key=lambda t: (t.group, t.order))
+    batches = plan_batches(ordered, workers)
+    n_workers = min(workers, len(batches))
     n_groups = max(t.group for t in ordered) + 1
     ctx = _mp_context()
     cancel = ctx.Array("q", [_UNDECIDED] * n_groups)
+    cap = -(-len(batches) // n_workers)
+    slots = ctx.Array("q", [-1] * (n_workers * cap), lock=False)
+    heads = ctx.Array("q", [0] * n_workers, lock=False)
+    tails = ctx.Array("q", [0] * n_workers, lock=False)
+    locks = [ctx.Lock() for _ in range(n_workers)]
+    # round-robin deal: worker w's deque holds batches w, w+N, w+2N...
+    # front-to-back, so owners consume in ascending global order
+    for batch_idx in range(len(batches)):
+        w = batch_idx % n_workers
+        slots[w * cap + tails[w]] = batch_idx
+        tails[w] += 1
+    batches_bytes = pickle.dumps(batches, protocol=pickle.HIGHEST_PROTOCOL)
+    gauge("sweep.batches").set(len(batches))
+    results = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(w, n_workers, cap, payload_bytes, batches_bytes,
+                  cancel, slots, heads, tails, locks, results),
+            daemon=True,
+        )
+        for w in range(n_workers)
+    ]
     outcomes: list[TaskOutcome] = []
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(ordered)), mp_context=ctx,
-        initializer=_init_worker, initargs=(payload_bytes, cancel),
-    ) as pool:
-        futures = {pool.submit(_run_task, t): t for t in ordered}
-        earliest = [_UNDECIDED] * n_groups
-        try:
-            for future in as_completed(futures):
-                task = futures[future]
-                if future.cancelled():
-                    outcomes.append(_cancelled_outcome(task))
-                    continue
-                outcome = future.result()
-                outcomes.append(outcome)
-                if outcome.lasso_cycle is None:
-                    continue
-                # a violation decides every task later in its group:
-                # publish for in-flight searches, cancel queued futures
-                if outcome.order < earliest[outcome.group]:
-                    earliest[outcome.group] = outcome.order
-                    with cancel.get_lock():
-                        if outcome.order < cancel[outcome.group]:
-                            cancel[outcome.group] = outcome.order
-                    for pending, ptask in futures.items():
-                        if (ptask.group == outcome.group
-                                and ptask.order > outcome.order):
-                            pending.cancel()
-        except BaseException:
-            for pending in futures:
-                pending.cancel()
-            raise
+    pending = len(ordered)
+    try:
+        for proc in procs:
+            proc.start()
+        while pending > 0:
+            try:
+                raw = results.get(timeout=_POLL_SECONDS)
+            except queue_mod.Empty:
+                _check_liveness(procs, pending)
+                continue
+            message = pickle.loads(raw)
+            kind = message[0]
+            if kind == "outcome":
+                outcomes.append(message[1])
+                pending -= 1
+            elif kind == "done":
+                residual = message[2]
+                merge_counters(residual["counters"])
+                merge_numeric(REGISTRY.phase_seconds,
+                              residual["phase_seconds"])
+                merge_numeric(REGISTRY.phase_counts,
+                              residual["phase_counts"])
+            elif kind == "error":
+                raise message[2]
+        for proc in procs:
+            proc.join(timeout=10.0)
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)
+        results.close()
+        results.join_thread()
     return outcomes
 
 
@@ -594,6 +876,7 @@ def _result_for_group(group: int, outcomes: Sequence[TaskOutcome],
     counterexample = None
     domain = payload.contexts[-1].domain
     if decisive is not None:
+        stats.decisive_order = decisive.order
         domain = payload.contexts[decisive.ctx].domain
         counterexample = Counterexample(
             valuation={
@@ -616,30 +899,43 @@ def _result_for_group(group: int, outcomes: Sequence[TaskOutcome],
 # entry points used by repro.verifier.ltlfo_verifier
 
 
-def _prepare_payload(payload: SweepPayload) -> SweepPayload:
+def _prepare_payload(payload: SweepPayload, workers: int
+                     ) -> tuple[SweepPayload, GraphSegment | None]:
     """Pre-expand single-context shared payloads in the driver.
 
     The reachable snapshot graph is valuation-independent, so the
-    driver expands it exactly once and ships the frozen CSR graph to
-    every worker -- no worker re-expands the state space.  Multi-context
-    grids (database enumeration) skip this: contexts partition across
-    workers, so each worker's lazily shared exploration is built at
-    most once per context anyway.
+    driver expands it exactly once.  With a pool ahead and shared
+    memory available the CSR graph goes into a shared segment (workers
+    attach; zero copies shipped); otherwise it rides along pickled in
+    the payload.  The returned payload always keeps ``frozen_graph``
+    for driver-local use; the segment lease (or None) is the caller's
+    to unlink in a ``finally``.  Multi-context grids (database
+    enumeration) skip all of this: contexts partition across workers,
+    so each worker's lazily shared exploration is built at most once
+    per context anyway.
     """
     if payload.engine != "shared" or len(payload.contexts) != 1:
-        return payload
+        return payload, None
     engine = SharedExploration(_context_transition_cache(payload, 0))
     graph = engine.complete(strict=False)
     if graph is None:
-        return payload
-    return replace(payload, frozen_graph=graph)
+        return payload, None
+    payload = replace(payload, frozen_graph=graph)
+    if workers > 1 and shm_available():
+        try:
+            segment = GraphSegment.create(graph)
+        except Exception:
+            counter("graph.shm_fallbacks").inc()
+            return payload, None
+        return replace(payload, graph_handle=segment.handle), segment
+    return payload, None
 
 
 class _DriverObs:
     """Capture driver-side phase/rule-cache movement around a sweep.
 
-    With frozen-graph shipping the expansion and rule firing happen in
-    the *driver* (during :func:`_prepare_payload`), not in workers;
+    With frozen-graph publication the expansion and rule firing happen
+    in the *driver* (during :func:`_prepare_payload`), not in workers;
     without this capture those seconds would vanish from
     ``VerifierStats`` under ``--workers > 1``.
     """
@@ -674,7 +970,9 @@ def parallel_verify(composition: Composition,
                     env_value_domain: Sequence[Value] | None = None,
                     env_one_action_per_move: bool = True,
                     fair_scheduling: bool = False,
-                    engine: str = "shared") -> VerificationResult:
+                    engine: str = "shared",
+                    shard: tuple[int, int] | None = None
+                    ) -> VerificationResult:
     """One property, one database set, valuations fanned out."""
     payload = SweepPayload(
         composition=composition,
@@ -689,15 +987,22 @@ def parallel_verify(composition: Composition,
         budget=budget,
         engine=resolve_engine(engine),
     )
-    tasks = [
-        SweepTask(group=0, order=i, ctx=0, sentence=0,
-                  valuation=freeze_valuation(v))
-        for i, v in enumerate(valuations)
-    ]
+    tasks = shard_filter(
+        [
+            SweepTask(group=0, order=i, ctx=0, sentence=0,
+                      valuation=freeze_valuation(v))
+            for i, v in enumerate(valuations)
+        ],
+        shard,
+    )
     t0 = time.perf_counter()
     with _DriverObs() as driver_obs:
-        payload = _prepare_payload(payload)
-    outcomes, used_parallel = run_sweep(payload, tasks, workers)
+        payload, segment = _prepare_payload(payload, workers)
+    try:
+        outcomes, used_parallel = run_sweep(payload, tasks, workers)
+    finally:
+        if segment is not None:
+            segment.unlink()
     result = _result_for_group(
         0, outcomes, payload, sentence, workers, used_parallel,
         time.perf_counter() - t0,
@@ -716,6 +1021,7 @@ def parallel_verify_all(composition: Composition,
                         workers: int,
                         budget: SearchBudget | None = None,
                         engine: str = "shared",
+                        shard: tuple[int, int] | None = None,
                         ) -> list[VerificationResult]:
     """Several properties over one database set, one group per property."""
     payload = SweepPayload(
@@ -726,16 +1032,23 @@ def parallel_verify_all(composition: Composition,
         budget=budget,
         engine=resolve_engine(engine),
     )
-    tasks = [
-        SweepTask(group=s_idx, order=i, ctx=0, sentence=s_idx,
-                  valuation=freeze_valuation(v))
-        for s_idx, valuations in enumerate(valuations_per_sentence)
-        for i, v in enumerate(valuations)
-    ]
+    tasks = shard_filter(
+        [
+            SweepTask(group=s_idx, order=i, ctx=0, sentence=s_idx,
+                      valuation=freeze_valuation(v))
+            for s_idx, valuations in enumerate(valuations_per_sentence)
+            for i, v in enumerate(valuations)
+        ],
+        shard,
+    )
     t0 = time.perf_counter()
     with _DriverObs() as driver_obs:
-        payload = _prepare_payload(payload)
-    outcomes, used_parallel = run_sweep(payload, tasks, workers)
+        payload, segment = _prepare_payload(payload, workers)
+    try:
+        outcomes, used_parallel = run_sweep(payload, tasks, workers)
+    finally:
+        if segment is not None:
+            segment.unlink()
     wall = time.perf_counter() - t0
     results = [
         _result_for_group(s_idx, outcomes, payload, sentence, workers,
@@ -757,7 +1070,8 @@ def parallel_verify_over_databases(
         valuations_per_combo: Sequence[Sequence[Mapping[Var, Value]]],
         workers: int,
         budget: SearchBudget | None = None,
-        engine: str = "shared") -> VerificationResult:
+        engine: str = "shared",
+        shard: tuple[int, int] | None = None) -> VerificationResult:
     """One property swept over every enumerated database combination.
 
     The full (database, valuation) grid is one deterministic order: the
@@ -778,13 +1092,16 @@ def parallel_verify_over_databases(
         budget=budget,
         engine=resolve_engine(engine),
     )
-    counter = itertools.count()
-    tasks = [
-        SweepTask(group=0, order=next(counter), ctx=ctx_idx, sentence=0,
-                  valuation=freeze_valuation(v))
-        for ctx_idx, valuations in enumerate(valuations_per_combo)
-        for v in valuations
-    ]
+    counter_iter = itertools.count()
+    tasks = shard_filter(
+        [
+            SweepTask(group=0, order=next(counter_iter), ctx=ctx_idx,
+                      sentence=0, valuation=freeze_valuation(v))
+            for ctx_idx, valuations in enumerate(valuations_per_combo)
+            for v in valuations
+        ],
+        shard,
+    )
     t0 = time.perf_counter()
     outcomes, used_parallel = run_sweep(payload, tasks, workers)
     return _result_for_group(

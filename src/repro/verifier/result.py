@@ -51,6 +51,11 @@ class VerifierStats:
     nba_states_total: int = 0
     wall_seconds: float = 0.0
     workers: int = 1
+    #: Global sweep order of the violated task that decided the verdict
+    #: (None when satisfied).  Orders are global even under ``--shard``,
+    #: so ``repro merge-shards`` picks the overall decisive task as the
+    #: minimum across fragments -- the lowest-order-wins rule.
+    decisive_order: int | None = None
     tasks_run: int = 0
     tasks_cancelled: int = 0
     task_seconds: float = 0.0
@@ -122,6 +127,7 @@ class VerifierStats:
             "nba_states_total": self.nba_states_total,
             "wall_seconds": self.wall_seconds,
             "workers": self.workers,
+            "decisive_order": self.decisive_order,
             "tasks_run": self.tasks_run,
             "tasks_cancelled": self.tasks_cancelled,
             "task_seconds": self.task_seconds,

@@ -1,0 +1,298 @@
+"""Shard fragments and their merge: one sweep split across machines.
+
+The shard plane of the distributed sweep
+(:mod:`repro.verifier.parallel`): ``repro verify --shard i/N`` runs the
+i-th residue class of the valuation grid (``order % N == i``) and
+writes a JSON *fragment* -- verdict, decisive order, per-task stats,
+counterexample, and a full ``repro.metrics/1`` registry snapshot.
+``repro merge-shards`` reads all N fragments and reassembles the exact
+global result.
+
+The merge is deterministic and provably equal to the unsharded sweep:
+
+* **Verdict.**  A property is violated iff any shard found a
+  violation; the decisive task is the one with the *lowest global
+  order* across fragments -- the same lowest-order-wins rule the
+  in-process scheduler applies, so the merged decisive valuation and
+  lasso are bit-for-bit the unsharded ones.
+* **Headline stats.**  Each fragment ships its per-task rows with
+  global order numbers.  The merge recomputes ``valuations_checked`` /
+  ``product_nodes_visited`` / ``nba_states_total`` from the union of
+  rows at or before the *global* decisive order.  Every such row exists
+  and is uncancelled in exactly one fragment (a shard only cancels
+  orders past its own decisive order, which is >= the global one), so
+  the recount equals the sequential sweep's.
+* **Metrics.**  Registry snapshots merge by kind: counters and phase
+  accumulators add, gauges take the maximum, histograms add bucket-wise
+  (:func:`merge_metrics_snapshots`).  Wall time is the max across
+  shards (they run concurrently); compute seconds add.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+from typing import Mapping, Sequence
+
+from ..obs.metrics import SCHEMA as METRICS_SCHEMA
+from ..obs.metrics import REGISTRY, merge_numeric
+from ..spec.composition import Composition
+from .result import Counterexample, VerificationResult, VerifierStats
+
+#: Version tag stamped on every shard fragment.
+SHARD_SCHEMA = "repro.shard/1"
+
+#: Version tag stamped on the merged document.
+MERGED_SCHEMA = "repro.shard-merged/1"
+
+_UNDECIDED = 2 ** 62
+
+
+def shard_fragment(results: Sequence[VerificationResult],
+                   shard: tuple[int, int],
+                   composition: Composition | None = None) -> dict:
+    """The JSON-able fragment one shard writes for its sweep results.
+
+    The counterexample (if any) travels twice: pre-rendered text for
+    human consumption at merge time (rendering needs the composition,
+    which the merging machine may not have loaded), and a base64 pickle
+    so :func:`result_from_merged` can reconstruct the exact
+    :class:`Counterexample` object for differential comparison.
+    """
+    index, count = shard
+    properties = []
+    for result in results:
+        entry = {
+            "property": result.property_text,
+            "verdict": result.verdict,
+            "satisfied": result.satisfied,
+            "decisive_order": result.stats.decisive_order,
+            "domain": result.domain_description,
+            "semantics": result.semantics_description,
+            "stats": result.stats.to_dict(),
+            "counterexample": None,
+        }
+        if result.counterexample is not None:
+            cex = result.counterexample
+            entry["counterexample"] = {
+                "pickle": base64.b64encode(
+                    pickle.dumps(cex, protocol=pickle.HIGHEST_PROTOCOL)
+                ).decode("ascii"),
+                "text": (cex.describe(composition)
+                         if composition is not None
+                         else f"counterexample to: {cex.property_text}"),
+            }
+        properties.append(entry)
+    return {
+        "schema": SHARD_SCHEMA,
+        "shard": {"index": index, "count": count},
+        "metrics": REGISTRY.snapshot(),
+        "properties": properties,
+    }
+
+
+def merge_metrics_snapshots(snapshots: Sequence[Mapping]) -> dict:
+    """Combine ``repro.metrics/1`` snapshots without touching a registry.
+
+    Counters and phases add, gauges take the max (high-water marks),
+    histograms add bucket-wise when boundaries agree (and keep the
+    first shard's data otherwise -- mismatched boundaries cannot be
+    combined losslessly).
+    """
+    counters: dict = {}
+    gauges: dict = {}
+    histograms: dict = {}
+    phase_seconds: dict = {}
+    phase_counts: dict = {}
+    for snap in snapshots:
+        if snap.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics snapshot with schema "
+                f"{snap.get('schema')!r}; expected {METRICS_SCHEMA!r}"
+            )
+        merge_numeric(counters, snap.get("counters", {}))
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = max(gauges.get(name, value), value)
+        for name, hist in snap.get("histograms", {}).items():
+            seen = histograms.get(name)
+            if seen is None:
+                histograms[name] = {
+                    "boundaries": list(hist["boundaries"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
+            elif seen["boundaries"] == list(hist["boundaries"]):
+                seen["counts"] = [
+                    a + b for a, b in zip(seen["counts"], hist["counts"])
+                ]
+                seen["sum"] += hist["sum"]
+                seen["count"] += hist["count"]
+        for name, entry in snap.get("phases", {}).items():
+            merge_numeric(phase_seconds, {name: entry["seconds"]})
+            merge_numeric(phase_counts, {name: entry["count"]})
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+        "phases": {
+            name: {"seconds": phase_seconds[name],
+                   "count": phase_counts.get(name, 0)}
+            for name in sorted(phase_seconds)
+        },
+    }
+
+
+def _validate_fragments(fragments: Sequence[Mapping]) -> int:
+    if not fragments:
+        raise ValueError("no shard fragments to merge")
+    for frag in fragments:
+        if frag.get("schema") != SHARD_SCHEMA:
+            raise ValueError(
+                f"fragment schema {frag.get('schema')!r} is not "
+                f"{SHARD_SCHEMA!r}"
+            )
+    counts = {frag["shard"]["count"] for frag in fragments}
+    if len(counts) != 1:
+        raise ValueError(f"fragments disagree on shard count: {counts}")
+    count = counts.pop()
+    indices = sorted(frag["shard"]["index"] for frag in fragments)
+    if indices != list(range(count)):
+        raise ValueError(
+            f"need every shard 0..{count - 1} exactly once, got {indices}"
+        )
+    texts = {
+        tuple(p["property"] for p in frag["properties"])
+        for frag in fragments
+    }
+    if len(texts) != 1:
+        raise ValueError("fragments disagree on the property list")
+    return count
+
+
+def _merge_property(entries: Sequence[Mapping]) -> dict:
+    """Merge one property's per-shard entries into the global result."""
+    violated = [e for e in entries if not e["satisfied"]]
+    decisive = min(
+        violated, key=lambda e: e["decisive_order"], default=None
+    )
+    cutoff = (decisive["decisive_order"] if decisive is not None
+              else _UNDECIDED)
+    valuations = nodes = nba = tasks_run = tasks_cancelled = 0
+    task_seconds = cancelled_seconds = 0.0
+    system_states = 0
+    wall = 0.0
+    workers = 1
+    for entry in entries:
+        stats = entry["stats"]
+        wall = max(wall, stats["wall_seconds"])
+        workers = max(workers, stats["workers"])
+        system_states = max(system_states, stats["system_states"])
+        for row in stats["per_task"]:
+            counted = not row["cancelled"] and row["order"] <= cutoff
+            if counted:
+                valuations += 1
+                nodes += row["product_nodes"]
+                nba += row["nba_states"]
+                tasks_run += 1
+                task_seconds += row["wall_seconds"]
+            else:
+                tasks_cancelled += 1
+                cancelled_seconds += row["wall_seconds"]
+        if not stats["per_task"]:
+            # a shard that ran its slice sequentially (workers=1 falls
+            # back in-process) has headline numbers but no rows; they
+            # are already cutoff-filtered by its own early stop
+            valuations += stats["valuations_checked"]
+            nodes += stats["product_nodes_visited"]
+            nba += stats["nba_states_total"]
+    merged = {
+        "property": entries[0]["property"],
+        "verdict": "VIOLATED" if decisive is not None else "SATISFIED",
+        "satisfied": decisive is None,
+        "decisive_order": (decisive["decisive_order"]
+                           if decisive is not None else None),
+        "decisive_shard": (decisive["_shard_index"]
+                           if decisive is not None else None),
+        "domain": entries[0]["domain"],
+        "semantics": entries[0]["semantics"],
+        "counterexample": (decisive["counterexample"]
+                           if decisive is not None else None),
+        "stats": {
+            "valuations_checked": valuations,
+            "product_nodes_visited": nodes,
+            "nba_states_total": nba,
+            "system_states": system_states,
+            "wall_seconds": wall,
+            "workers": workers,
+            "tasks_run": tasks_run,
+            "tasks_cancelled": tasks_cancelled,
+            "task_seconds": task_seconds,
+            "cancelled_task_seconds": cancelled_seconds,
+        },
+    }
+    return merged
+
+
+def merge_fragments(fragments: Sequence[Mapping]) -> dict:
+    """Reassemble the global verdict + stats from all N shard fragments.
+
+    Fragments may be passed in any order; every shard ``0..N-1`` must
+    appear exactly once and all must list the same properties.
+    """
+    count = _validate_fragments(fragments)
+    ordered = sorted(fragments, key=lambda f: f["shard"]["index"])
+    n_properties = len(ordered[0]["properties"])
+    properties = []
+    for p_idx in range(n_properties):
+        entries = []
+        for frag in ordered:
+            entry = dict(frag["properties"][p_idx])
+            entry["_shard_index"] = frag["shard"]["index"]
+            entries.append(entry)
+        properties.append(_merge_property(entries))
+    return {
+        "schema": MERGED_SCHEMA,
+        "shards": count,
+        "metrics": merge_metrics_snapshots(
+            [frag["metrics"] for frag in ordered]
+        ),
+        "properties": properties,
+    }
+
+
+def result_from_merged(entry: Mapping) -> VerificationResult:
+    """Reconstruct a :class:`VerificationResult` from one merged entry.
+
+    The counterexample is unpickled from the decisive shard's fragment,
+    so differential tests can compare the merged lasso bit-for-bit
+    against an unsharded run.
+    """
+    stats_in = entry["stats"]
+    stats = VerifierStats(
+        valuations_checked=stats_in["valuations_checked"],
+        system_states=stats_in["system_states"],
+        product_nodes_visited=stats_in["product_nodes_visited"],
+        nba_states_total=stats_in["nba_states_total"],
+        wall_seconds=stats_in["wall_seconds"],
+        workers=stats_in["workers"],
+        decisive_order=entry["decisive_order"],
+        tasks_run=stats_in["tasks_run"],
+        tasks_cancelled=stats_in["tasks_cancelled"],
+        task_seconds=stats_in["task_seconds"],
+        cancelled_task_seconds=stats_in["cancelled_task_seconds"],
+    )
+    counterexample: Counterexample | None = None
+    if entry["counterexample"] is not None:
+        counterexample = pickle.loads(
+            base64.b64decode(entry["counterexample"]["pickle"])
+        )
+    return VerificationResult(
+        satisfied=entry["satisfied"],
+        property_text=entry["property"],
+        counterexample=counterexample,
+        stats=stats,
+        domain_description=entry["domain"],
+        semantics_description=entry["semantics"],
+    )

@@ -1,0 +1,278 @@
+"""Zero-copy shared-memory plane for the frozen exploration graph.
+
+The parallel sweep's dominant seeding cost used to be *shipping*: the
+driver pickled the frozen :class:`~repro.verifier.graph.ExploredGraph`
+into every worker's initializer arguments, so an ``N``-worker pool paid
+``N`` serializations plus ``N`` private deserialized copies of the same
+immutable CSR arrays.  This module removes both:
+
+* :meth:`GraphSegment.create` writes the graph **once** into a
+  ``multiprocessing.shared_memory`` segment -- a fixed binary header,
+  the raw ``offsets``/``targets`` CSR buffers, and a pickled blob for
+  the snapshot tuple (Python objects cannot be shared structurally);
+* :func:`attach_graph` maps the segment into a worker and rebuilds an
+  :class:`ExploredGraph` whose CSR arrays are **memoryview casts over
+  the mapping** -- no bytes are copied for the adjacency structure, and
+  the OS shares the physical pages across every attached process.  Only
+  the snapshot blob is unpickled per worker (it has to become process-
+  local Python objects), and it is read straight out of the mapping
+  rather than a pipe.
+
+Lifecycle: the *driver* owns the segment.  :class:`GraphSegment` is a
+refcount-one lease -- ``unlink()`` is idempotent, every entry point
+calls it from a ``finally`` (normal exit, cancellation, and the
+``BrokenProcessPool`` fallback all pass through it), and a module
+``atexit`` guard unlinks anything still registered if the process dies
+between those points.  Workers attach without registering with the
+``resource_tracker`` (the driver's registration is the only one), so
+no tracker warnings and no double-unlink races occur; worker mappings
+die with the worker process.
+
+When shared memory is unavailable (no ``/dev/shm``, ``REPRO_SHM=0``,
+or segment creation fails) callers fall back to the PR 5 behaviour of
+embedding the pickled graph in the worker payload; the
+``graph.shm_bytes_shipped`` counter then records the per-worker bytes
+that shared memory would have saved (it stays 0 on the attach path --
+the E15 benchmark asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import struct
+from array import array
+from dataclasses import dataclass
+
+from ..obs import counter, gauge
+from .graph import ExploredGraph
+
+#: Every segment name starts with this prefix, so tests can scan
+#: ``/dev/shm`` for leaks without false positives from other software.
+SEGMENT_PREFIX = "repro_graph_"
+
+#: Header layout: magic, version, n_states, n_offsets, n_targets, blob_len.
+_HEADER = struct.Struct("<6Q")
+_MAGIC = 0x5250524F53484D01  # "RPROSHM" + format version 1
+
+
+def shm_available() -> bool:
+    """Whether the zero-copy plane may be used in this environment.
+
+    ``REPRO_SHM=0`` (or ``off``/``false``) force-disables it -- the
+    documented escape hatch for containers with a tiny or read-only
+    ``/dev/shm`` -- and platforms without POSIX shared memory simply
+    fail the import probe.
+    """
+    raw = os.environ.get("REPRO_SHM", "").strip().lower()
+    if raw in ("0", "off", "false", "no"):
+        return False
+    try:
+        import multiprocessing.shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - platform-dependent
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class ShmGraphHandle:
+    """A picklable descriptor of one graph segment (name + layout).
+
+    This is what travels in the worker payload instead of the graph:
+    a few dozen bytes regardless of graph size.
+    """
+
+    name: str
+    n_states: int
+    n_offsets: int
+    n_targets: int
+    blob_len: int
+
+
+def _new_segment(size: int):
+    from multiprocessing import shared_memory
+
+    name = f"{SEGMENT_PREFIX}{os.getpid()}_{os.urandom(4).hex()}"
+    return shared_memory.SharedMemory(name=name, create=True, size=size)
+
+
+#: Driver-side leases not yet unlinked; the atexit guard sweeps these.
+_ACTIVE: set["GraphSegment"] = set()
+
+
+class GraphSegment:
+    """The driver's lease on one shared-memory graph segment."""
+
+    def __init__(self, shm, handle: ShmGraphHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+        _ACTIVE.add(self)
+
+    @classmethod
+    def create(cls, graph: ExploredGraph) -> "GraphSegment":
+        """Serialize *graph* once into a fresh segment.
+
+        Raises whatever the platform raises when shared memory cannot
+        be provisioned (``OSError`` typically); callers treat any
+        failure as "fall back to the pickle path".
+        """
+        offsets = memoryview(graph.offsets).cast("B")
+        targets = memoryview(graph.targets).cast("B")
+        blob = pickle.dumps(
+            (graph.states, tuple(graph.initial_ids), graph.budget),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        size = (_HEADER.size + len(offsets) + len(targets) + len(blob))
+        shm = _new_segment(size)
+        try:
+            buf = shm.buf
+            _HEADER.pack_into(
+                buf, 0, _MAGIC, graph.num_states, len(graph.offsets),
+                len(graph.targets), len(blob), 0,
+            )
+            pos = _HEADER.size
+            buf[pos:pos + len(offsets)] = offsets
+            pos += len(offsets)
+            buf[pos:pos + len(targets)] = targets
+            pos += len(targets)
+            buf[pos:pos + len(blob)] = blob
+            del buf
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        counter("graph.shm_segments").inc()
+        gauge("graph.shm_bytes").set(size)
+        handle = ShmGraphHandle(
+            name=shm.name, n_states=graph.num_states,
+            n_offsets=len(graph.offsets), n_targets=len(graph.targets),
+            blob_len=len(blob),
+        )
+        return cls(shm, handle)
+
+    def unlink(self) -> None:
+        """Release and remove the segment (idempotent).
+
+        Safe to call while workers still hold mappings: POSIX keeps the
+        pages alive until the last mapping goes away; unlinking only
+        removes the name so nothing can leak past the sweep.
+        """
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        _ACTIVE.discard(self)
+        try:
+            shm.close()
+            shm.unlink()
+            counter("graph.shm_unlinks").inc()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "GraphSegment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+@atexit.register
+def _unlink_leftovers() -> None:  # pragma: no cover - crash path
+    for segment in list(_ACTIVE):
+        segment.unlink()
+
+
+def _attach_segment(name: str):
+    """Map an existing segment without resource-tracker registration.
+
+    Attaching normally registers the name with this process tree's
+    ``resource_tracker``, which would warn about (and try to re-unlink)
+    the segment at interpreter exit even though the driver already owns
+    cleanup.  Python 3.13 grew ``track=False`` for exactly this; on
+    older versions the registration is suppressed instead of reverted
+    -- register-then-unregister races when sibling workers attach the
+    same name concurrently (the tracker's cache is a set, so the second
+    register is absorbed and the second unregister KeyErrors).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(name_, rtype):
+            if rtype != "shared_memory":
+                original(name_, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def attach_graph(handle: ShmGraphHandle) -> tuple[ExploredGraph, object]:
+    """Rebuild an :class:`ExploredGraph` over an attached segment.
+
+    The returned graph's ``offsets``/``targets`` are memoryview casts
+    into the shared mapping -- zero bytes copied, pages shared with the
+    driver and every sibling worker.  The second return value is the
+    ``SharedMemory`` mapping itself: the caller must keep it referenced
+    for as long as the graph is in use (the views borrow its buffer).
+    """
+    shm = _attach_segment(handle.name)
+    buf = shm.buf
+    magic, n_states, n_offsets, n_targets, blob_len, _ = (
+        _HEADER.unpack_from(buf, 0)
+    )
+    if magic != _MAGIC or (n_states, n_offsets, n_targets, blob_len) != (
+            handle.n_states, handle.n_offsets, handle.n_targets,
+            handle.blob_len):
+        shm.close()
+        raise ValueError(
+            f"shared-memory segment {handle.name!r} does not match its "
+            "handle (stale or corrupted segment)"
+        )
+    pos = _HEADER.size
+    itemsize = array("q").itemsize
+    offsets = buf[pos:pos + n_offsets * itemsize].cast("q")
+    pos += n_offsets * itemsize
+    targets = buf[pos:pos + n_targets * itemsize].cast("q")
+    pos += n_targets * itemsize
+    states, initial_ids, budget = pickle.loads(buf[pos:pos + blob_len])
+    counter("graph.shm_attaches").inc()
+    graph = ExploredGraph(states, initial_ids, offsets, targets, budget)
+    return graph, shm
+
+
+def detach_graph(graph: ExploredGraph, shm: object) -> None:
+    """Release an attached graph's views and close its mapping.
+
+    The graph is unusable afterwards (its CSR views point at a closed
+    buffer).  Workers normally skip this -- their mapping dies with the
+    process -- but same-process attachers (tests, diagnostics) must
+    release the exported views before the mapping can close.
+    """
+    for view in (graph.offsets, graph.targets):
+        if isinstance(view, memoryview):
+            view.release()
+    shm.close()
+
+
+def leaked_segments() -> list[str]:
+    """Names of repro graph segments currently present in ``/dev/shm``.
+
+    Test helper: after any sweep (including crashed ones) this must be
+    empty.  Returns ``[]`` on platforms without a ``/dev/shm``.
+    """
+    try:
+        return sorted(
+            name for name in os.listdir("/dev/shm")
+            if name.startswith(SEGMENT_PREFIX)
+        )
+    except OSError:  # pragma: no cover - non-Linux
+        return []

@@ -1,0 +1,181 @@
+"""The zero-copy graph plane: segment lifecycle and pickled fallbacks.
+
+Covers :mod:`repro.verifier.shm` (create/attach roundtrip, handle
+validation, idempotent unlink, the ``REPRO_SHM`` escape hatch, leak
+scanning) and the serialization satellite of the distributed sweep:
+``SweepPayload`` ships at ``pickle.HIGHEST_PROTOCOL`` and a
+memoryview-backed :class:`ExploredGraph` (attached from shared memory)
+pickles back to owned arrays.
+"""
+
+import pickle
+from array import array
+from dataclasses import replace
+
+import pytest
+
+from repro.fo import Instance
+from repro.spec import Composition, PeerBuilder
+from repro.verifier import (
+    GraphSegment, SharedExploration, TransitionCache, attach_graph,
+    detach_graph, leaked_segments, shm_available, verification_domain,
+)
+from repro.verifier.parallel import (
+    SweepContext, SweepPayload, payload_to_bytes,
+)
+from repro.spec.channels import DECIDABLE_DEFAULT
+
+
+def _frozen_graph():
+    sender = (
+        PeerBuilder("S")
+        .database("items", 1)
+        .input("pick", 1)
+        .flat_out_queue("msg", 1)
+        .input_rule("pick", ["x"], "items(x)")
+        .send_rule("msg", ["x"], "pick(x)")
+        .build()
+    )
+    receiver = (
+        PeerBuilder("R")
+        .state("got", 1)
+        .flat_in_queue("msg", 1)
+        .insert_rule("got", ["x"], "?msg(x)")
+        .build()
+    )
+    comp = Composition([sender, receiver])
+    dbs = {"S": Instance({"items": [("a",), ("b",)]})}
+    dom = verification_domain(comp, [], dbs, fresh_count=1)
+    cache = TransitionCache(comp, dbs, dom.values, DECIDABLE_DEFAULT)
+    graph = SharedExploration(cache).complete()
+    assert graph is not None
+    return comp, dbs, dom, graph
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    return _frozen_graph()
+
+
+def test_segment_roundtrip(frozen):
+    """create -> attach reproduces the graph; views alias the mapping."""
+    _comp, _dbs, _dom, graph = frozen
+    segment = GraphSegment.create(graph)
+    try:
+        attached, mapping = attach_graph(segment.handle)
+        try:
+            assert attached.states == graph.states
+            assert tuple(attached.initial_ids) == tuple(graph.initial_ids)
+            assert list(attached.offsets) == list(graph.offsets)
+            assert list(attached.targets) == list(graph.targets)
+            assert attached.budget.max_system_states == \
+                graph.budget.max_system_states
+            # zero-copy: the CSR buffers are views, not owned arrays
+            assert isinstance(attached.offsets, memoryview)
+            assert isinstance(attached.targets, memoryview)
+            assert attached.csr_nbytes == graph.csr_nbytes
+        finally:
+            detach_graph(attached, mapping)
+    finally:
+        segment.unlink()
+    assert not leaked_segments()
+
+
+def test_attached_graph_repickles_to_arrays(frozen):
+    """A memoryview-backed graph pickles into owned array buffers."""
+    _comp, _dbs, _dom, graph = frozen
+    segment = GraphSegment.create(graph)
+    try:
+        attached, mapping = attach_graph(segment.handle)
+        try:
+            clone = pickle.loads(pickle.dumps(attached))
+        finally:
+            detach_graph(attached, mapping)
+    finally:
+        segment.unlink()
+    assert isinstance(clone.offsets, array)
+    assert isinstance(clone.targets, array)
+    assert list(clone.offsets) == list(graph.offsets)
+    assert list(clone.targets) == list(graph.targets)
+    assert clone.states == graph.states
+
+
+def test_handle_mismatch_rejected(frozen):
+    """A stale/corrupt handle must not silently misread the segment."""
+    _comp, _dbs, _dom, graph = frozen
+    segment = GraphSegment.create(graph)
+    try:
+        bad = replace(segment.handle, n_states=segment.handle.n_states + 1)
+        with pytest.raises(ValueError, match="does not match"):
+            attach_graph(bad)
+    finally:
+        segment.unlink()
+    assert not leaked_segments()
+
+
+def test_unlink_idempotent(frozen):
+    _comp, _dbs, _dom, graph = frozen
+    segment = GraphSegment.create(graph)
+    segment.unlink()
+    segment.unlink()  # second call is a no-op, not an error
+    assert not leaked_segments()
+
+
+def test_context_manager_unlinks(frozen):
+    _comp, _dbs, _dom, graph = frozen
+    with GraphSegment.create(graph) as segment:
+        assert segment.handle.name in leaked_segments()
+    assert not leaked_segments()
+
+
+def test_repro_shm_env_disables(monkeypatch):
+    for value in ("0", "off", "false", "no"):
+        monkeypatch.setenv("REPRO_SHM", value)
+        assert not shm_available()
+    monkeypatch.setenv("REPRO_SHM", "1")
+    assert shm_available()
+    monkeypatch.delenv("REPRO_SHM")
+    assert shm_available()
+
+
+def test_payload_ships_at_highest_protocol(frozen):
+    """The fallback path serializes with protocol 5, not the mp default."""
+    comp, dbs, dom, graph = frozen
+    payload = SweepPayload(
+        composition=comp,
+        contexts=(SweepContext(tuple(sorted(dbs.items())), dom),),
+        sentences=(),
+        semantics=DECIDABLE_DEFAULT,
+        frozen_graph=graph,
+    )
+    data = payload_to_bytes(payload, workers=2)
+    # pickle protocol 5 frames start with \x80\x05
+    assert data[:2] == b"\x80\x05"
+    clone = pickle.loads(data)
+    assert clone.frozen_graph is not None
+    assert clone.frozen_graph.num_states == graph.num_states
+
+
+def test_payload_strips_graph_when_handle_present(frozen):
+    """Zero-copy shipping: the handle travels, the graph does not."""
+    comp, dbs, dom, graph = frozen
+    segment = GraphSegment.create(graph)
+    try:
+        payload = SweepPayload(
+            composition=comp,
+            contexts=(SweepContext(tuple(sorted(dbs.items())), dom),),
+            sentences=(),
+            semantics=DECIDABLE_DEFAULT,
+            frozen_graph=graph,
+            graph_handle=segment.handle,
+        )
+        with_graph = payload_to_bytes(
+            replace(payload, graph_handle=None), workers=1
+        )
+        stripped = payload_to_bytes(payload, workers=2)
+        assert len(stripped) < len(with_graph)
+        clone = pickle.loads(stripped)
+        assert clone.frozen_graph is None
+        assert clone.graph_handle == segment.handle
+    finally:
+        segment.unlink()
