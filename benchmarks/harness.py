@@ -51,6 +51,20 @@ def report(row: Row) -> None:
     print(row.render(), file=sys.stderr)
 
 
+def repro_seed(default: int = 0) -> int:
+    """The global reproducibility seed, from the ``REPRO_SEED`` env var.
+
+    Benchmarks and the randomized synthetic families draw their seeds
+    from here so a run is reproducible end to end: ``REPRO_SEED=7
+    pytest benchmarks/`` replays the exact same compositions, sweeps,
+    and fuzz cases.  Every metrics entry records the seed it ran under.
+    """
+    raw = os.environ.get("REPRO_SEED", "").strip()
+    if raw:
+        return int(raw)
+    return default
+
+
 def metrics_dir() -> Path:
     """Directory of the ``BENCH_*.json`` metrics trajectory files.
 
@@ -85,6 +99,7 @@ def snapshot_metrics(experiment: str, case: str, result,
         "experiment": experiment,
         "case": case,
         "verdict": result.verdict,
+        "repro_seed": repro_seed(),
         "stats": result.stats.to_dict(),
     }
     if extra:

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 import time
@@ -73,7 +74,8 @@ from .verifier import verification_domain, verify
 
 #: Library examples profilable without a .dws file: name -> loader
 #: returning (composition, databases, properties, valuation_candidates).
-PROFILE_LIBRARIES = ("loan", "ecommerce", "travel")
+PROFILE_LIBRARIES = ("loan", "ecommerce", "travel", "payments",
+                     "dispatch")
 
 
 def _parse_shard(text: str | None) -> tuple[int, int] | None:
@@ -387,6 +389,28 @@ def _library_target(name: str):
             },
             {"f": ("fl1",), "d": ("rome",)},
         )
+    if name == "payments":
+        from .library import payments
+        return (
+            payments.payments_composition(),
+            payments.standard_database(),
+            {
+                "capture_cleared": payments.PROPERTY_CAPTURE_CLEARED,
+                "dispute_honest": payments.PROPERTY_DISPUTE_HONEST,
+            },
+            payments.STANDARD_CANDIDATES,
+        )
+    if name == "dispatch":
+        from .library import dispatch
+        return (
+            dispatch.dispatch_composition(),
+            dispatch.standard_database(),
+            {
+                "offers_from_fleet": dispatch.PROPERTY_OFFERS_FROM_FLEET,
+                "take_needs_offer": dispatch.PROPERTY_TAKE_NEEDS_OFFER,
+            },
+            dispatch.STANDARD_CANDIDATES,
+        )
     raise ReproError(f"unknown profile library {name!r}; "
                      f"available: {', '.join(PROFILE_LIBRARIES)}")
 
@@ -555,6 +579,46 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# fuzz
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import THEOREM_ROWS, fuzz
+
+    rows = tuple(args.row) if args.row else ("3.4",)
+    unknown = [r for r in rows if r not in THEOREM_ROWS]
+    if unknown:
+        raise ReproError(
+            f"unknown theorem row(s) {unknown}; "
+            f"available: {', '.join(sorted(THEOREM_ROWS))}"
+        )
+    if args.count < 1:
+        raise ReproError("--count must be >= 1")
+    seed = args.seed
+    if seed is None:
+        seed = int(os.environ.get("REPRO_SEED", "0").strip() or "0")
+
+    report = fuzz(
+        count=args.count, seed=seed, rows=rows,
+        corpus_dir=args.corpus,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    print(report.summary())
+    _write_metrics_json(args.metrics_json, "fuzz", [{
+        "seed": report.seed, "count": report.count,
+        "rows": list(report.rows),
+        "violations": [
+            {"seed": o.spec.seed, "row": o.spec.row,
+             "oracles": sorted(o.oracles_failed()),
+             "details": [str(v) for v in o.violations]}
+            for o in report.failures
+        ],
+        "corpus_files": report.corpus_files,
+    }])
+    return 0 if report.ok else 1
+
+
+# ---------------------------------------------------------------------------
 # merge-shards
 
 
@@ -565,9 +629,17 @@ def cmd_merge_shards(args: argparse.Namespace) -> int:
     fragments = []
     for path in args.fragments:
         try:
-            fragments.append(json.loads(Path(path).read_text()))
+            fragment = json.loads(Path(path).read_text())
         except (OSError, json.JSONDecodeError) as err:
             raise ReproError(f"cannot read fragment {path}: {err}")
+        if not isinstance(fragment, dict):
+            raise ReproError(
+                f"fragment {path} is not a shard fragment object "
+                f"(got JSON {type(fragment).__name__})"
+            )
+        fragments.append(fragment)
+    if not fragments:
+        raise ReproError("no shard fragments to merge")
     try:
         merged = merge_fragments(fragments)
     except ValueError as err:
@@ -719,6 +791,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="search engine (see `repro verify`)")
     _add_shard_options(p_prof)
     p_prof.set_defaults(func=cmd_profile)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="generate random specs along the decidability frontier "
+             "and run them through the differential oracle stack",
+    )
+    p_fuzz.add_argument("--count", type=int, default=25,
+                        help="number of generated cases (default 25)")
+    p_fuzz.add_argument("--seed", type=int, default=None,
+                        help="campaign seed; case i derives its own "
+                             "seed from it (default: the REPRO_SEED "
+                             "env var, else 0)")
+    p_fuzz.add_argument("--row", action="append", metavar="ROW",
+                        help="theorem row to target, e.g. 3.4 or 3.9 "
+                             "(repeatable; cases round-robin over the "
+                             "rows; default: 3.4)")
+    p_fuzz.add_argument("--corpus", metavar="DIR", default=None,
+                        help="persist minimized failing cases as "
+                             "replayable .dws files under DIR")
+    p_fuzz.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                        help="write span/instant trace events as JSONL")
+    p_fuzz.add_argument("--metrics-json", metavar="FILE", default=None,
+                        dest="metrics_json",
+                        help="write a campaign report as JSON")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_merge = sub.add_parser(
         "merge-shards",

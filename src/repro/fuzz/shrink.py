@@ -1,0 +1,188 @@
+"""Greedy delta-debugging shrinker for generated scenarios.
+
+Given a failing :class:`GeneratedSpec` and a predicate "does this
+reduced spec still fail the same way?", repeatedly try structural
+deletions -- whole peers, individual rules, unused declarations,
+database rows, properties -- keeping each deletion that preserves the
+failure, until a fixpoint.  Every candidate is rebuilt through
+:class:`PeerBuilder`, so a deletion that leaves the spec malformed
+(e.g. removing the only input rule of a populated input relation)
+raises :class:`SpecificationError` and is simply skipped; the shrinker
+never emits an ill-formed spec.
+
+The result is what lands in the fuzz corpus: a minimal replayable
+``.dws`` reproducer of the oracle violation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..errors import ReproError
+from ..fo.formulas import relations as formula_relations
+from ..fo.instance import Instance
+from ..spec.composition import Composition
+from ..spec.peer import Peer, PeerBuilder
+from .generate import GeneratedSpec, with_composition
+
+#: PeerBuilder declaration method per (kind-ish) slot of a Peer.
+_DECL_SLOTS = (
+    ("database", "database"),
+    ("states", "state"),
+    ("inputs", "input"),
+    ("actions", "action"),
+)
+_RULE_METHODS = {
+    "input": "input_rule",
+    "insert": "insert_rule",
+    "delete": "delete_rule",
+    "action": "action_rule",
+    "send": "send_rule",
+}
+
+
+def _rebuild_peer(peer: Peer,
+                  drop_rule: int | None = None,
+                  drop_decl: str | None = None) -> Peer:
+    """Rebuild *peer* without one rule / one declaration.
+
+    Raises :class:`SpecificationError` when the reduced peer is
+    ill-formed; callers treat that as "candidate not applicable".
+    """
+    builder = PeerBuilder(peer.name)
+    for attr, method in _DECL_SLOTS:
+        for sym in getattr(peer, attr):
+            if sym.name == drop_decl:
+                continue
+            getattr(builder, method)(sym.name, sym.arity)
+    for sym in peer.in_queues:
+        if sym.name == drop_decl:
+            continue
+        method = "nested_in_queue" if sym.nested else "flat_in_queue"
+        getattr(builder, method)(sym.name, sym.arity)
+    for sym in peer.out_queues:
+        if sym.name == drop_decl:
+            continue
+        method = "nested_out_queue" if sym.nested else "flat_out_queue"
+        getattr(builder, method)(sym.name, sym.arity)
+    for idx, rule in enumerate(peer.rules):
+        if idx == drop_rule:
+            continue
+        method = getattr(builder, _RULE_METHODS[rule.kind.value])
+        method(rule.target, [v.name for v in rule.head], rule.body)
+    return builder.build()
+
+
+def _unused_declarations(peer: Peer) -> list[str]:
+    """Declared relations no remaining rule targets or mentions."""
+    used: set[str] = set()
+    for rule in peer.rules:
+        used.add(rule.target)
+        used |= formula_relations(rule.body)
+    return [sym.name for sym in peer.relations() if sym.name not in used]
+
+
+def _restrict_databases(databases: dict[str, Instance],
+                        composition: Composition) -> dict[str, Instance]:
+    names = {p.name for p in composition.peers}
+    return {n: inst for n, inst in databases.items() if n in names}
+
+
+def _candidates(spec: GeneratedSpec) -> Iterator[GeneratedSpec]:
+    """All one-step reductions of *spec*, largest deletions first."""
+    comp = spec.composition
+    peers = comp.peers
+
+    # whole peers (open compositions are legal: dangling channels become
+    # environment channels)
+    if len(peers) > 1:
+        for idx in range(len(peers)):
+            reduced = peers[:idx] + peers[idx + 1:]
+            try:
+                new_comp = Composition(reduced)
+            except ReproError:
+                continue
+            yield with_composition(
+                spec, new_comp,
+                _restrict_databases(spec.databases, new_comp),
+                dict(spec.properties),
+            )
+
+    # individual rules
+    for p_idx, peer in enumerate(peers):
+        for r_idx in range(len(peer.rules)):
+            try:
+                new_peer = _rebuild_peer(peer, drop_rule=r_idx)
+                new_comp = Composition(
+                    peers[:p_idx] + (new_peer,) + peers[p_idx + 1:]
+                )
+            except ReproError:
+                continue
+            yield with_composition(
+                spec, new_comp,
+                _restrict_databases(spec.databases, new_comp),
+                dict(spec.properties),
+            )
+
+    # unused declarations
+    for p_idx, peer in enumerate(peers):
+        for decl in _unused_declarations(peer):
+            try:
+                new_peer = _rebuild_peer(peer, drop_decl=decl)
+                new_comp = Composition(
+                    peers[:p_idx] + (new_peer,) + peers[p_idx + 1:]
+                )
+            except ReproError:
+                continue
+            yield with_composition(
+                spec, new_comp,
+                _restrict_databases(spec.databases, new_comp),
+                dict(spec.properties),
+            )
+
+    # properties (keep at least one: a spec without properties has
+    # nothing for the verify-based oracles to disagree about)
+    if len(spec.properties) > 1:
+        for name in list(spec.properties):
+            props = {n: t for n, t in spec.properties.items()
+                     if n != name}
+            yield with_composition(spec, comp, dict(spec.databases),
+                                   props)
+
+    # database rows
+    for peer_name, instance in spec.databases.items():
+        for rel, rows in instance.items():
+            if len(rows) <= 1:
+                continue
+            for row in sorted(rows):
+                remaining = [r for r in rows if r != row]
+                dbs = dict(spec.databases)
+                dbs[peer_name] = instance.updated(rel, remaining)
+                yield with_composition(spec, comp, dbs,
+                                       dict(spec.properties))
+
+
+def shrink(spec: GeneratedSpec,
+           still_fails: Callable[[GeneratedSpec], bool],
+           max_steps: int = 200) -> GeneratedSpec:
+    """Greedily minimize *spec* while ``still_fails`` stays true.
+
+    One accepted deletion restarts the candidate scan (smaller specs
+    unlock further deletions); the loop ends at a fixpoint or after
+    *max_steps* accepted reductions, whichever comes first.
+    """
+    current = spec
+    for _ in range(max_steps):
+        for candidate in _candidates(current):
+            try:
+                failed = still_fails(candidate)
+            except Exception:
+                # a candidate that crashes the pipeline is itself a
+                # finding, but not the one we are minimizing
+                failed = False
+            if failed:
+                current = candidate
+                break
+        else:
+            break
+    return current

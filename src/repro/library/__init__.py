@@ -1,7 +1,8 @@
-"""Ready-made compositions: the paper's loan example, e-commerce and
-travel applications in the spirit of [11], and synthetic benchmark
-families."""
+"""Ready-made compositions: the paper's loan example, e-commerce,
+travel, payments/chargeback and ride-hailing dispatch applications in
+the spirit of [11], and synthetic benchmark families."""
 
-from . import ecommerce, loan, synthetic, travel
+from . import dispatch, ecommerce, loan, payments, synthetic, travel
 
-__all__ = ["ecommerce", "loan", "synthetic", "travel"]
+__all__ = ["dispatch", "ecommerce", "loan", "payments", "synthetic",
+           "travel"]

@@ -1,0 +1,133 @@
+"""A ride-hailing dispatch composition: offers, takes, and a loophole.
+
+Three peers in the shape of a dispatch flow:
+
+* ``Rider``  -- requests a ride to a place from its catalog and records
+  the pickup when it happens;
+* ``Hub``    -- matches requests against its fleet database and offers
+  the ride to a driver stationed in the requested zone;
+* ``Driver`` -- once an offer has arrived, takes a ride in some zone it
+  works and drives to the pickup.
+
+Channels::
+
+    Rider --req--> Hub --offer--> Driver --pickup--> Rider
+
+The modelling wart is deliberate and input-boundedness forces it into
+the open: a flat-send rule may not read non-ground state (Section 3.1),
+so the driver cannot remember *which* zone was offered -- only *that*
+an offer arrived (a propositional ``sawOffer`` gate).  Its take menu
+therefore ranges over every zone it works, and a driver that works
+zones the rider never requests can show up there.  The properties
+document both sides:
+
+* :data:`PROPERTY_OFFERS_FROM_FLEET` (satisfied): the hub only offers
+  rides its fleet database supports.
+* :data:`PROPERTY_TAKE_NEEDS_OFFER` (satisfied): drivers only take
+  rides after an offer arrived.
+* :data:`PROPERTY_PICKUP_REQUESTED` (violated): pickups only happen at
+  places the rider catalogs.  False -- the loophole above (the driver
+  works a zone outside the rider's catalog).
+* :data:`PROPERTY_REQUEST_SERVED` (violated): every request leads to a
+  ride.  False under lossy channels.
+"""
+
+from __future__ import annotations
+
+from ..fo.instance import Instance
+from ..spec.composition import Composition
+from ..spec.peer import Peer, PeerBuilder
+
+
+def rider_peer() -> Peer:
+    return (
+        PeerBuilder("Rider")
+        .database("places", 1)                 # places the rider goes
+        .input("request", 1)
+        .state("requested", 0)
+        .state("riding", 1)
+        .flat_in_queue("pickup", 1)
+        .flat_out_queue("req", 1)
+        # one-shot request gate (the loan domain's "already acted"
+        # idiom): keeps the menu input-bounded and the product small
+        .input_rule("request", ["z"], "places(z) & ~requested")
+        .insert_rule("requested", [], "exists z: request(z)")
+        .send_rule("req", ["z"], "request(z)")
+        .insert_rule("riding", ["z"], "?pickup(z)")
+        .build()
+    )
+
+
+def hub_peer() -> Peer:
+    return (
+        PeerBuilder("Hub")
+        .database("fleet", 2)                  # (driver, zone) stationed
+        .flat_in_queue("req", 1)
+        .flat_out_queue("offer", 2)            # (driver, zone)
+        .send_rule("offer", ["d", "z"], "?req(z) & fleet(d, z)")
+        .build()
+    )
+
+
+def driver_peer() -> Peer:
+    return (
+        PeerBuilder("Driver")
+        .database("works", 1)                  # zones the driver works
+        .state("sawOffer", 0)                  # an offer arrived (0-ary:
+        .input("take", 1)                      # flat sends cannot read
+        .action("drive", 1)                    # non-ground state)
+        .flat_in_queue("offer", 2)
+        .flat_out_queue("pickup", 1)
+        .insert_rule("sawOffer", [], "exists d, z: ?offer(d, z)")
+        .input_rule("take", ["z"], "works(z) & sawOffer")
+        .action_rule("drive", ["z"], "take(z)")
+        .send_rule("pickup", ["z"], "take(z)")
+        .build()
+    )
+
+
+def dispatch_composition() -> Composition:
+    """The closed three-peer dispatch composition."""
+    return Composition([rider_peer(), hub_peer(), driver_peer()])
+
+
+def standard_database() -> dict[str, Instance]:
+    """The rider goes downtown; the driver also works the airport.
+
+    ``works`` strictly contains the rider's catalog, which is what
+    makes :data:`PROPERTY_PICKUP_REQUESTED` falsifiable.
+    """
+    return {
+        "Rider": Instance({"places": [("downtown",)]}),
+        "Hub": Instance({"fleet": [("d1", "downtown")]}),
+        "Driver": Instance({"works": [("downtown",), ("airport",)]}),
+    }
+
+
+#: Restrict the valuation sweep to the zone/driver identifiers.
+STANDARD_CANDIDATES = {
+    "z": ("downtown", "airport"),
+    "d": ("d1",),
+}
+
+#: Safety (holds): the hub only offers rides its fleet supports.
+PROPERTY_OFFERS_FROM_FLEET = (
+    "forall d, z: G( Hub.!offer(d, z) -> Hub.fleet(d, z) )"
+)
+
+#: Safety (holds): a driver only takes rides once an offer arrived.
+PROPERTY_TAKE_NEEDS_OFFER = (
+    "forall z: G( Driver.take(z) -> Driver.sawOffer )"
+)
+
+#: Safety (VIOLATED): pickups happen only at places the rider catalogs.
+#: The driver's take menu ranges over all of ``works``, so a zone
+#: outside the rider's catalog (the airport) can be taken and driven.
+PROPERTY_PICKUP_REQUESTED = (
+    "forall z: G( Rider.riding(z) -> Rider.places(z) )"
+)
+
+#: Liveness (VIOLATED under lossy channels): requests lead to rides.
+PROPERTY_REQUEST_SERVED = (
+    "forall z: G( Rider.request(z) -> F Rider.riding(z) )"
+)

@@ -1,0 +1,134 @@
+"""A payments/chargeback composition: capture races dispute.
+
+Three peers in the shape of a card-payment flow:
+
+* ``Shop`` -- the merchant: the customer pays for goods, the shop
+  charges the payment service provider, records the capture when the
+  approval arrives, and refunds when the bank disputes;
+* ``PSP``  -- the payment service provider: approves charges it clears
+  and forwards them for settlement;
+* ``Bank`` -- the issuing bank: disputes settlements of risky orders
+  (the chargeback).
+
+Channels::
+
+    Shop --charge--> PSP --approved--> Shop
+                     PSP --settle--> Bank --disputed--> Shop
+
+The interesting behaviour is the race the lossy semantics makes real:
+the ``approved`` message can be lost while ``settle`` gets through, so
+the bank's ``disputed`` message -- and the shop's refund -- can arrive
+*before* (or entirely without) the capture.  The properties document
+both sides of that frontier:
+
+* :data:`PROPERTY_CAPTURE_CLEARED` (satisfied): captures only happen
+  for orders the PSP clears -- message provenance is structural.
+* :data:`PROPERTY_DISPUTE_HONEST` (satisfied): the bank only disputes
+  orders its risk database flags.
+* :data:`PROPERTY_REFUND_AFTER_CAPTURE` (violated): a refund implies a
+  prior capture.  False -- the chargeback race above.
+* :data:`PROPERTY_PAYMENT_CAPTURED` (violated): every payment is
+  eventually captured.  False under lossy channels.
+"""
+
+from __future__ import annotations
+
+from ..fo.instance import Instance
+from ..spec.composition import Composition
+from ..spec.peer import Peer, PeerBuilder
+
+
+def shop_peer() -> Peer:
+    return (
+        PeerBuilder("Shop")
+        .database("goods", 1)                  # orderable goods
+        .input("pay", 1)                       # customer pays for a good
+        .state("captured", 1)                  # approved + recorded
+        .state("refunded", 1)                  # chargeback honoured
+        .action("refund", 1)                   # the side effect
+        .state("checkedOut", 0)
+        .flat_in_queue("approved", 1)
+        .flat_in_queue("disputed", 1)
+        .flat_out_queue("charge", 1)
+        # the one-shot checkout gate is the loan domain's "already
+        # acted" idiom: it keeps the input menu input-bounded (a menu
+        # may not read non-ground state) while keeping the reachable
+        # product small
+        .input_rule("pay", ["x"], "goods(x) & ~checkedOut")
+        .insert_rule("checkedOut", [], "exists x: pay(x)")
+        .send_rule("charge", ["x"], "pay(x)")
+        .insert_rule("captured", ["x"], "?approved(x)")
+        .insert_rule("refunded", ["x"], "?disputed(x)")
+        .action_rule("refund", ["x"], "?disputed(x)")
+        .build()
+    )
+
+
+def psp_peer() -> Peer:
+    return (
+        PeerBuilder("PSP")
+        .database("clears", 1)                 # orders the PSP clears
+        .flat_in_queue("charge", 1)
+        .flat_out_queue("approved", 1)
+        .flat_out_queue("settle", 1)
+        .send_rule("approved", ["x"], "?charge(x) & clears(x)")
+        .send_rule("settle", ["x"], "?charge(x) & clears(x)")
+        .build()
+    )
+
+
+def bank_peer() -> Peer:
+    return (
+        PeerBuilder("Bank")
+        .database("risky", 1)                  # orders the bank disputes
+        .state("settled", 1)
+        .flat_in_queue("settle", 1)
+        .flat_out_queue("disputed", 1)
+        .insert_rule("settled", ["x"], "?settle(x)")
+        .send_rule("disputed", ["x"], "?settle(x) & risky(x)")
+        .build()
+    )
+
+
+def payments_composition() -> Composition:
+    """The closed three-peer payment composition."""
+    return Composition([shop_peer(), psp_peer(), bank_peer()])
+
+
+def standard_database() -> dict[str, Instance]:
+    """Two goods; both clear, only ``g2`` is risky (the chargeback)."""
+    return {
+        "Shop": Instance({"goods": [("g1",), ("g2",)]}),
+        "PSP": Instance({"clears": [("g1",), ("g2",)]}),
+        "Bank": Instance({"risky": [("g2",)]}),
+    }
+
+
+#: Restrict the valuation sweep to the order identifiers (the fresh
+#: value can never satisfy the antecedents).
+STANDARD_CANDIDATES = {"x": ("g1", "g2")}
+
+#: Safety (holds): captures only for orders the PSP clears -- the
+#: ``approved`` message only ever carries cleared orders.
+PROPERTY_CAPTURE_CLEARED = (
+    "forall x: G( Shop.captured(x) -> PSP.clears(x) )"
+)
+
+#: Safety (holds): the bank only disputes settlements its risk
+#: database flags.
+PROPERTY_DISPUTE_HONEST = (
+    "forall x: G( Bank.!disputed(x) -> Bank.risky(x) )"
+)
+
+#: Safety (VIOLATED): a refund implies the order was captured.  The
+#: chargeback race: ``approved`` is lost while ``settle`` arrives, the
+#: bank disputes, and the shop refunds an order it never captured.
+PROPERTY_REFUND_AFTER_CAPTURE = (
+    "forall x: G( Shop.refunded(x) -> Shop.captured(x) )"
+)
+
+#: Liveness (VIOLATED under lossy channels): payments are eventually
+#: captured.
+PROPERTY_PAYMENT_CAPTURED = (
+    "forall x: G( Shop.pay(x) -> F Shop.captured(x) )"
+)

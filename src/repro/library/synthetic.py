@@ -11,9 +11,16 @@ These generators produce parameterized compositions with known properties:
   first, exercising cyclic channel topologies.
 * :func:`wide_peer` -- a single peer with ``k``-ary state relations,
   scaling schema arity (the EXPSPACE axis).
+* :func:`random_topology` -- a seeded random member of the relay
+  family; same seed, same composition.  With no explicit seed the
+  global ``REPRO_SEED`` environment variable decides, so benchmark
+  runs replay bit-for-bit.
 """
 
 from __future__ import annotations
+
+import os
+import random
 
 from ..fo.instance import Instance
 from ..spec.composition import Composition
@@ -159,3 +166,37 @@ def wide_safety_property(arity: int) -> str:
     """Holds: stored rows come from the wide database."""
     xs = ", ".join(f"x{i}" for i in range(arity))
     return f"forall {xs}: G( V.stored({xs}) -> W.wide({xs}) )"
+
+
+def repro_seed(default: int = 0) -> int:
+    """The global reproducibility seed (``REPRO_SEED`` env var)."""
+    raw = os.environ.get("REPRO_SEED", "").strip()
+    if raw:
+        return int(raw)
+    return default
+
+
+def random_topology(seed: int | None = None
+                    ) -> tuple[Composition, dict[str, Instance], str]:
+    """A reproducible random member of the relay family.
+
+    Draws a chain or ring topology, relay depth, and database size from
+    a :class:`random.Random` seeded with *seed* -- the same seed always
+    yields the same composition, databases, and property.  ``seed=None``
+    defers to :func:`repro_seed` so ``REPRO_SEED=7 pytest benchmarks/``
+    replays exactly.  Returns ``(composition, databases, property)``
+    where the property is a safety invariant that holds for every
+    member of the family.
+    """
+    if seed is None:
+        seed = repro_seed()
+    rng = random.Random(seed * 9176 + 11)
+    n_relays = rng.randint(1, 3)
+    items = rng.randint(1, 2)
+    if rng.random() < 0.5:
+        composition = relay_chain(n_relays)
+        prop = chain_safety_property(n_relays)
+    else:
+        composition = relay_ring(n_relays)
+        prop = "forall x: G( P0.returned(x) -> P0.items(x) )"
+    return composition, chain_databases(n_relays, items), prop

@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ParseError, SpecificationError
 from ..fo.instance import Instance
-from ..fo.terms import Value
+from ..fo.terms import Value, value_sort_key
 from .composition import Composition
 from .peer import Peer, PeerBuilder
 
@@ -405,6 +405,144 @@ def scan_document(text: str) -> RawDocument:
             raise ParseError(f"cannot parse top-level statement {line!r}")
         i += 1
     return RawDocument(tuple(peers), tuple(properties))
+
+
+# -- emission (the inverse surface) ------------------------------------------
+#
+# The fuzzer persists generated compositions as replayable ``.dws``
+# corpus files, and the round-trip oracle demands that what we write is
+# what we parse: ``load_document(dump_document(c, dbs, props))`` must
+# reproduce the composition structurally (peers, schemas, rules and all;
+# see :func:`compositions_equal`).  Formula ``__str__`` is already a
+# parseable rendering (the FO parser accepts ``exists x. (...)`` and
+# resolves bare queue names against the schema), so emission is purely
+# a matter of laying out declarations, rules, rows and properties in
+# the line-oriented surface grammar.
+
+_SAFE_STRING_RE = re.compile(r'[^"#\\\n\r]*\Z')
+
+
+def _emit_value(value: Value, where: str) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; reject early
+        raise SpecificationError(f"{where}: booleans are not domain values")
+    if isinstance(value, int):
+        return str(value)
+    if not _SAFE_STRING_RE.match(value):
+        raise SpecificationError(
+            f"{where}: string value {value!r} cannot be emitted "
+            "(quotes, comments and newlines do not round-trip)"
+        )
+    return f'"{value}"'
+
+
+def _check_line(line: str, where: str) -> str:
+    """Refuse to emit text the comment stripper would corrupt."""
+    if "#" in line or "\n" in line:
+        raise SpecificationError(
+            f"{where}: rendered text {line!r} cannot be emitted "
+            "('#' starts a comment in the surface syntax)"
+        )
+    return line
+
+
+def dump_peer(peer: Peer) -> str:
+    """Emit one ``peer`` block (declarations, then rules, in order)."""
+    where = f"peer {peer.name}"
+    lines = [f"peer {peer.name} {{"]
+    for kind, symbols in (("database", peer.database),
+                          ("state", peer.states),
+                          ("input", peer.inputs),
+                          ("action", peer.actions)):
+        for sym in symbols:
+            lines.append(f"    {kind:8s} {sym.name}/{sym.arity}")
+    for direction, symbols in (("in", peer.in_queues),
+                               ("out", peer.out_queues)):
+        for sym in symbols:
+            shape = "nested" if sym.nested else "flat"
+            lines.append(f"    {direction:3s} {shape:6s} "
+                         f"{sym.name}/{sym.arity}")
+    if peer.rules:
+        lines.append("")
+    for rule in peer.rules:
+        head = ", ".join(v.name for v in rule.head)
+        target = f"{rule.target}({head})" if head else rule.target
+        body = str(rule.body)
+        lines.append(_check_line(
+            f"    {rule.kind.value:6s} {target} <- {body}", where
+        ))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dump_composition(composition: Composition) -> str:
+    """Emit every peer of *composition* as ``.dws`` text."""
+    return "\n\n".join(dump_peer(p) for p in composition.peers)
+
+
+def dump_databases(databases: dict[str, Instance]) -> str:
+    """Emit ``database <peer>`` blocks (non-empty relations only)."""
+    blocks = []
+    for peer_name in sorted(databases):
+        instance = databases[peer_name]
+        rows_lines = []
+        for rel, rows in instance.items():
+            if not rows:
+                continue
+            where = f"database {peer_name}.{rel}"
+            rendered = ", ".join(
+                "(" + ", ".join(_emit_value(v, where) for v in row) + ")"
+                for row in sorted(
+                    rows, key=lambda t: tuple(map(value_sort_key, t))
+                )
+            )
+            rows_lines.append(_check_line(f"    {rel}: {rendered}", where))
+        if not rows_lines:
+            continue
+        blocks.append(f"database {peer_name} {{\n"
+                      + "\n".join(rows_lines) + "\n}")
+    return "\n\n".join(blocks)
+
+
+def dump_document(composition: Composition,
+                  databases: dict[str, Instance] | None = None,
+                  properties: dict[str, str] | None = None,
+                  header: str | None = None) -> str:
+    """Emit a complete document: peers, databases, properties.
+
+    The inverse of :func:`load_document` up to formatting:
+    ``load_document(dump_document(c, dbs, props))`` returns a
+    structurally equal composition (:func:`compositions_equal`), equal
+    database instances, and the same property texts modulo whitespace.
+    """
+    parts = []
+    if header:
+        parts.append("\n".join(
+            f"# {line}".rstrip() for line in header.splitlines()
+        ))
+    parts.append(dump_composition(composition))
+    if databases:
+        block = dump_databases(databases)
+        if block:
+            parts.append(block)
+    if properties:
+        prop_lines = []
+        for name, text in properties.items():
+            flat = " ".join(text.split())
+            prop_lines.append(_check_line(
+                f"property {name}: {flat}", f"property {name}"
+            ))
+        parts.append("\n".join(prop_lines))
+    return "\n\n".join(parts) + "\n"
+
+
+def compositions_equal(a: Composition, b: Composition) -> bool:
+    """Structural equality of two compositions.
+
+    Peers are frozen dataclasses whose fields (schemas, rules, formula
+    ASTs) all define structural equality, so comparing the peer tuples
+    compares everything down to rule bodies.
+    """
+    return a.peers == b.peers
 
 
 def load(text: str) -> tuple[Composition, dict[str, Instance]]:

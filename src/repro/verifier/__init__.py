@@ -21,6 +21,7 @@ from .parallel import (
 from .shards import (
     MERGED_SCHEMA, SHARD_SCHEMA, merge_fragments,
     merge_metrics_snapshots, result_from_merged, shard_fragment,
+    spec_sha,
 )
 from .shm import (
     GraphSegment, ShmGraphHandle, attach_graph, detach_graph,
@@ -63,6 +64,7 @@ __all__ = [
     "resolve_engine", "resolve_shard", "resolve_workers",
     "result_from_merged",
     "run_sweep", "shard_filter", "shard_fragment", "shm_available",
+    "spec_sha",
     "translate_env_spec", "verification_domain", "verify",
     "verify_all", "verify_modular", "verify_over_databases",
 ]

@@ -31,6 +31,7 @@ The merge is deterministic and provably equal to the unsharded sweep:
 from __future__ import annotations
 
 import base64
+import hashlib
 import pickle
 from typing import Mapping, Sequence
 
@@ -46,6 +47,25 @@ SHARD_SCHEMA = "repro.shard/1"
 MERGED_SCHEMA = "repro.shard-merged/1"
 
 _UNDECIDED = 2 ** 62
+
+
+def spec_sha(composition: Composition) -> str | None:
+    """A content hash of the composition's canonical ``.dws`` emission.
+
+    Fragments stamp this hash so :func:`merge_fragments` can reject a
+    merge of shards that ran *different* specs -- mixing fragments of
+    two compositions that happen to declare the same properties would
+    silently produce a meaningless global verdict.  ``None`` when the
+    composition cannot be emitted (values the surface syntax cannot
+    represent); such fragments skip the check.
+    """
+    from ..spec.dsl import dump_composition
+
+    try:
+        text = dump_composition(composition)
+    except Exception:
+        return None
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 def shard_fragment(results: Sequence[VerificationResult],
@@ -86,6 +106,8 @@ def shard_fragment(results: Sequence[VerificationResult],
     return {
         "schema": SHARD_SCHEMA,
         "shard": {"index": index, "count": count},
+        "spec_sha": (spec_sha(composition)
+                     if composition is not None else None),
         "metrics": REGISTRY.snapshot(),
         "properties": properties,
     }
@@ -153,11 +175,24 @@ def _validate_fragments(fragments: Sequence[Mapping]) -> int:
                 f"fragment schema {frag.get('schema')!r} is not "
                 f"{SHARD_SCHEMA!r}"
             )
+    shas = {frag.get("spec_sha") for frag in fragments} - {None}
+    if len(shas) > 1:
+        raise ValueError(
+            "fragments come from different specs (spec hashes "
+            f"{sorted(s[:12] for s in shas)}); every shard must run "
+            "the same composition"
+        )
     counts = {frag["shard"]["count"] for frag in fragments}
     if len(counts) != 1:
         raise ValueError(f"fragments disagree on shard count: {counts}")
     count = counts.pop()
     indices = sorted(frag["shard"]["index"] for frag in fragments)
+    duplicates = sorted({i for i in indices if indices.count(i) > 1})
+    if duplicates:
+        raise ValueError(
+            f"overlapping shard fragments: index(es) {duplicates} "
+            "appear more than once"
+        )
     if indices != list(range(count)):
         raise ValueError(
             f"need every shard 0..{count - 1} exactly once, got {indices}"

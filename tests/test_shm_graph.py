@@ -15,10 +15,13 @@ from dataclasses import replace
 import pytest
 
 from repro.fo import Instance
+from repro.library import payments
+from repro.obs import counters_snapshot
 from repro.spec import Composition, PeerBuilder
 from repro.verifier import (
     GraphSegment, SharedExploration, TransitionCache, attach_graph,
     detach_graph, leaked_segments, shm_available, verification_domain,
+    verify,
 )
 from repro.verifier.parallel import (
     SweepContext, SweepPayload, payload_to_bytes,
@@ -179,3 +182,37 @@ def test_payload_strips_graph_when_handle_present(frozen):
         assert clone.graph_handle == segment.handle
     finally:
         segment.unlink()
+
+
+def test_killed_worker_leaves_no_segments(monkeypatch):
+    """Segment hygiene under the worst crash: a worker dies mid-task.
+
+    The driver owns the shared-memory segment; when the pool breaks it
+    must fall back sequentially AND still unlink the segment -- a
+    crashed sweep that leaks ``/dev/shm`` slowly starves the host.
+    """
+    if not shm_available():
+        pytest.skip("shared memory unavailable")
+    comp = payments.payments_composition()
+    dbs = payments.standard_database()
+    prop = payments.PROPERTY_REFUND_AFTER_CAPTURE
+    reference = verify(
+        comp, prop, dbs,
+        valuation_candidates=payments.STANDARD_CANDIDATES,
+    )
+
+    monkeypatch.setenv("REPRO_TEST_KILL_TASK", "0")
+    before = counters_snapshot()
+    crashed = verify(
+        comp, prop, dbs,
+        valuation_candidates=payments.STANDARD_CANDIDATES, workers=2,
+    )
+    after = counters_snapshot()
+
+    broke = (after.get("sweep.pool_broken", 0)
+             - before.get("sweep.pool_broken", 0))
+    assert broke >= 1, "the killed worker did not trip the pool fallback"
+    assert crashed.verdict == reference.verdict == "VIOLATED"
+    assert (crashed.counterexample.lasso
+            == reference.counterexample.lasso)
+    assert not leaked_segments(), leaked_segments()
