@@ -93,13 +93,17 @@ def snapshot_metrics(experiment: str, case: str, result,
     (read-only checkout, etc.) are ignored: metrics must never fail a
     benchmark.
     """
+    from repro.obs import current_run_id
+    from repro.obs.metrics import SCHEMA as METRICS_SCHEMA
+
     entry = {
-        "schema": "repro.metrics/1",
+        "schema": METRICS_SCHEMA,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "experiment": experiment,
         "case": case,
         "verdict": result.verdict,
         "repro_seed": repro_seed(),
+        "run_id": current_run_id(),
         "stats": result.stats.to_dict(),
     }
     if extra:

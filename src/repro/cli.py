@@ -14,6 +14,11 @@ Usage::
     python -m repro simulate SPEC.dws [--steps N] [--seed S]
     python -m repro profile SPEC.dws|LIBRARY [--workers N] ...
     python -m repro merge-shards shard_*.json [--output FILE]
+    python -m repro top [--run RUN_ID] [--once]
+    python -m repro doctor [--clean]
+    python -m repro trace convert TRACE.jsonl... [--output FILE]
+    python -m repro metrics export METRICS.json [--output FILE]
+    python -m repro bench check [--metrics-dir DIR] [--json]
 
 ``verify`` runs every ``property`` statement in the document (or just
 ``--property NAME``) and reports verdicts; the exit status is 0 iff all
@@ -42,13 +47,29 @@ error-severity diagnostics exist (with ``--strict``: warnings too),
 same classifier pre-flight and warns on stderr before searching an
 undecidable configuration.
 
-Every command accepts ``--trace FILE.jsonl`` (structured span/instant
-events, see :mod:`repro.obs.trace`) and ``--metrics-json FILE`` (a
-metrics snapshot plus per-result statistics).  ``profile`` runs a
-verification and prints a per-phase wall-time breakdown, with
-per-worker rows when ``--workers > 1``; its target is either a
-``.dws`` file or one of the built-in library examples
-(``loan``, ``ecommerce``, ``travel``).
+Every run command accepts ``--trace FILE.jsonl`` (structured
+span/instant events, see :mod:`repro.obs.trace`), ``--metrics-json
+FILE`` (a metrics snapshot plus per-result statistics), and
+``--run-id ID`` (adopt a run-ledger id instead of minting one; the
+``REPRO_RUN_ID`` environment variable does the same and is the
+idiomatic way to correlate ``--shard`` slices launched on different
+machines).  ``profile`` runs a verification and prints a per-phase
+wall-time breakdown, with per-worker rows when ``--workers > 1``; its
+target is either a ``.dws`` file or one of the built-in library
+examples (``loan``, ``ecommerce``, ``travel``).
+
+The observability surface (see :mod:`repro.obs`): every run command
+opens a **run-ledger** context, so trace events carry ``run`` /
+``worker`` / ``shard`` stamps and long sweeps write heartbeat records
+under the runs directory.  ``repro top`` renders those heartbeats as a
+refreshing terminal view of every active run.  ``repro trace convert``
+stitches one run's JSONL trace files (driver + workers + remote
+shards) into a Chrome trace-event JSON loadable in Perfetto.
+``repro metrics export`` renders any metrics JSON (snapshot, fragment,
+or merged document) in Prometheus text exposition format.
+``repro bench check`` is the regression sentinel over
+``benchmarks/metrics/BENCH_*.json``; ``repro doctor`` audits leaked
+shared-memory segments (``--clean`` unlinks them).
 """
 
 from __future__ import annotations
@@ -64,9 +85,11 @@ from pathlib import Path
 from .errors import ReproError
 from .ib import check_composition, summarize
 from .obs import (
-    REGISTRY, configure_tracing, diff_numeric, phase_counts,
-    phase_seconds,
+    REGISTRY, begin_run, configure_tracing, diff_numeric, end_run,
+    phase_counts,
+    phase_seconds, set_shard,
 )
+from .obs.metrics import SCHEMA as METRICS_SCHEMA
 from .runtime import simulate
 from .spec import ChannelSemantics
 from .spec.dsl import load_document
@@ -125,15 +148,16 @@ def _write_metrics_json(path: str | None, command: str,
                         results: list[dict]) -> None:
     """Write the metrics snapshot file for ``--metrics-json``.
 
-    Schema (``repro.metrics/1``): the process registry snapshot
+    Schema (``repro.metrics/2``): the process registry snapshot
     (counters/gauges/histograms/phases -- driver side only; worker
     numbers are folded into each result's ``stats``) plus one entry per
-    verification result.
+    verification result.  The registry snapshot inside carries the
+    run-ledger id, correlating this file with the run's trace.
     """
     if not path:
         return
     payload = {
-        "schema": "repro.metrics/1",
+        "schema": METRICS_SCHEMA,
         "command": command,
         "registry": REGISTRY.snapshot(),
         "results": results,
@@ -218,6 +242,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         domain = verification_domain(composition, [], databases,
                                      fresh_count=args.fresh)
     shard = _parse_shard(args.shard)
+    set_shard(shard)
     all_ok = True
     entries: list[dict] = []
     results: list = []
@@ -500,6 +525,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         return 2
 
     shard = _parse_shard(args.shard)
+    set_shard(shard)
     seconds_before = phase_seconds()
     counts_before = phase_counts()
     t0 = time.perf_counter()
@@ -681,7 +707,158 @@ def cmd_merge_shards(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# observability surface: top / doctor / trace convert / metrics export
+# / bench check
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Render live heartbeat records of running (and recent) sweeps."""
+    from .obs import list_runs, read_progress, render_progress, runs_root
+
+    def frame() -> str:
+        if args.run:
+            records = [r for r in [read_progress(args.run)]
+                       if r is not None]
+        else:
+            records = list_runs()
+        if not records:
+            return (f"no runs under {runs_root()} "
+                    "(heartbeats appear while a run command executes)")
+        return "\n\n".join(render_progress(r) for r in records)
+
+    if args.once:
+        text = frame()
+        print(text)
+        return 0 if "no runs under" not in text else 1
+    try:
+        while True:
+            # ANSI clear + home, like watch(1); stays a plain print so
+            # output degrades gracefully when piped to a file
+            print("\x1b[2J\x1b[H" + frame(), flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Audit the host for observability/shm hygiene problems."""
+    from .verifier.shm import clean_segments, leaked_segments, shm_available
+    from .obs import runs_root
+
+    print(f"shared memory available: {shm_available()}")
+    print(f"runs directory: {runs_root()}")
+    leaks = leaked_segments()
+    if not leaks:
+        print("leaked graph segments: none")
+        return 0
+    print(f"leaked graph segments ({len(leaks)}):")
+    for name in leaks:
+        print(f"  /dev/shm/{name}")
+    if not args.clean:
+        print("stale segments hold shared memory until unlinked; "
+              "re-run with --clean to remove them", file=sys.stderr)
+        return 1
+    removed = clean_segments(leaks)
+    print(f"cleaned {len(removed)} segment(s)")
+    remaining = leaked_segments()
+    if remaining:
+        print(f"could not remove: {remaining}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_trace_convert(args: argparse.Namespace) -> int:
+    """Stitch trace JSONL files and write Chrome trace-event JSON."""
+    from .obs import convert_trace_files
+
+    for path in args.inputs:
+        if not Path(path).is_file():
+            raise ReproError(f"trace file not found: {path}")
+    output = args.output
+    if output is None:
+        stem = re.sub(r"\.jsonl$", "", args.inputs[0])
+        output = f"{stem}.chrome.json"
+    doc = convert_trace_files(args.inputs, output)
+    other = doc["otherData"]
+    n_events = len(doc["traceEvents"])
+    if not other["run_ids"]:
+        print("warning: no run ids in inputs (trace predates the run "
+              "ledger, or tracing ran without a run context)",
+              file=sys.stderr)
+    elif len(other["run_ids"]) > 1:
+        print(f"warning: stitching events from {len(other['run_ids'])} "
+              f"different runs: {other['run_ids']}", file=sys.stderr)
+    if other["corrupt_lines"]:
+        print(f"warning: skipped {other['corrupt_lines']} corrupt "
+              "line(s)", file=sys.stderr)
+    print(f"{output}: {n_events} events from "
+          f"{other['processes']} process(es), "
+          f"run(s) {', '.join(other['run_ids']) or '-'} "
+          "(open in https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_metrics_export(args: argparse.Namespace) -> int:
+    """Render a metrics JSON file in Prometheus text exposition format."""
+    from .obs import extract_registry_snapshot, render_prometheus
+
+    try:
+        doc = json.loads(Path(args.file).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise ReproError(f"cannot read metrics file {args.file}: {err}")
+    if not isinstance(doc, dict):
+        raise ReproError(
+            f"{args.file} is not a metrics document "
+            f"(got JSON {type(doc).__name__})"
+        )
+    try:
+        snapshot = extract_registry_snapshot(doc)
+    except ValueError as err:
+        raise ReproError(str(err))
+    rendered = render_prometheus(snapshot)
+    if args.output:
+        Path(args.output).write_text(rendered)
+        print(f"prometheus exposition written to {args.output}",
+              file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def cmd_bench_check(args: argparse.Namespace) -> int:
+    """The bench regression sentinel over BENCH_*.json trajectories."""
+    from .obs import check_directory
+
+    try:
+        report = check_directory(
+            args.metrics_dir,
+            max_wall_ratio=args.max_wall_ratio,
+            min_wall_seconds=args.min_wall_seconds,
+        )
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        raise ReproError(f"cannot check {args.metrics_dir}: {err}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+# ---------------------------------------------------------------------------
 # parser
+
+
+def _add_obs_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                   help="write span/instant trace events as JSONL")
+    p.add_argument("--metrics-json", metavar="FILE", default=None,
+                   dest="metrics_json",
+                   help="write a metrics snapshot as JSON")
+    p.add_argument("--run-id", metavar="ID", default=None,
+                   dest="run_id",
+                   help="adopt this run-ledger id instead of minting "
+                        "one (or set REPRO_RUN_ID; used to correlate "
+                        "shards launched on different machines)")
 
 
 def _add_shard_options(p: argparse.ArgumentParser) -> None:
@@ -711,11 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="queue capacity k (default 1)")
         p.add_argument("--fresh", type=int, default=None,
                        help="override the number of fresh domain values")
-        p.add_argument("--trace", metavar="FILE.jsonl", default=None,
-                       help="write span/instant trace events as JSONL")
-        p.add_argument("--metrics-json", metavar="FILE", default=None,
-                       dest="metrics_json",
-                       help="write a metrics snapshot as JSON")
+        _add_obs_options(p)
 
     p_verify = sub.add_parser("verify", help="verify the document's "
                                              "properties")
@@ -810,11 +983,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--corpus", metavar="DIR", default=None,
                         help="persist minimized failing cases as "
                              "replayable .dws files under DIR")
-    p_fuzz.add_argument("--trace", metavar="FILE.jsonl", default=None,
-                        help="write span/instant trace events as JSONL")
-    p_fuzz.add_argument("--metrics-json", metavar="FILE", default=None,
-                        dest="metrics_json",
-                        help="write a campaign report as JSON")
+    _add_obs_options(p_fuzz)
     p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_merge = sub.add_parser(
@@ -828,19 +997,119 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the decisive counterexample runs")
     p_merge.add_argument("--output", metavar="FILE", default=None,
                          help="write the merged document as JSON")
-    p_merge.add_argument("--trace", metavar="FILE.jsonl", default=None,
-                         help="write span/instant trace events as JSONL")
-    p_merge.add_argument("--metrics-json", metavar="FILE", default=None,
-                         dest="metrics_json",
-                         help="write a metrics snapshot as JSON")
+    _add_obs_options(p_merge)
     p_merge.set_defaults(func=cmd_merge_shards)
 
+    p_top = sub.add_parser(
+        "top",
+        help="live view of running sweeps (reads heartbeat records)",
+    )
+    p_top.add_argument("--run", metavar="RUN_ID", default=None,
+                       help="show only this run (default: all runs "
+                            "under the runs directory)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit (exit 1 when "
+                            "no runs are found)")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="refresh interval in seconds (default 1.0)")
+    p_top.set_defaults(func=cmd_top)
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="audit shm/observability hygiene (exit 1 on leaked "
+             "segments)",
+    )
+    p_doctor.add_argument("--clean", action="store_true",
+                          help="unlink stale graph segments")
+    p_doctor.set_defaults(func=cmd_doctor)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="operate on trace JSONL files",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command",
+                                       required=True)
+    p_convert = trace_sub.add_parser(
+        "convert",
+        help="stitch trace files into Chrome trace-event JSON "
+             "(Perfetto)",
+    )
+    p_convert.add_argument("inputs", nargs="+", metavar="TRACE.jsonl",
+                           help="trace files of one run (driver + "
+                                "shards; workers share the driver's "
+                                "file)")
+    p_convert.add_argument("--output", metavar="FILE", default=None,
+                           help="output path (default: first input "
+                                "with .chrome.json suffix)")
+    p_convert.set_defaults(func=cmd_trace_convert)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="operate on metrics JSON files",
+    )
+    metrics_sub = p_metrics.add_subparsers(dest="metrics_command",
+                                           required=True)
+    p_export = metrics_sub.add_parser(
+        "export",
+        help="render a metrics JSON file as Prometheus text exposition",
+    )
+    p_export.add_argument("file", metavar="METRICS.json",
+                          help="a --metrics-json document, shard "
+                               "fragment, merged document, or bare "
+                               "registry snapshot")
+    p_export.add_argument("--output", metavar="FILE", default=None,
+                          help="write to FILE instead of stdout")
+    p_export.set_defaults(func=cmd_metrics_export)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="operate on benchmark trajectories",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command",
+                                       required=True)
+    p_check_bench = bench_sub.add_parser(
+        "check",
+        help="regression sentinel over BENCH_*.json (exit 1 on "
+             "regression)",
+    )
+    p_check_bench.add_argument("--metrics-dir", metavar="DIR",
+                               dest="metrics_dir",
+                               default="benchmarks/metrics",
+                               help="directory of BENCH_*.json files "
+                                    "(default: benchmarks/metrics)")
+    p_check_bench.add_argument("--max-wall-ratio", type=float,
+                               dest="max_wall_ratio", default=1.5,
+                               help="fail when the newest wall_seconds "
+                                    "exceeds this multiple of the "
+                                    "baseline median (default 1.5)")
+    p_check_bench.add_argument("--min-wall-seconds", type=float,
+                               dest="min_wall_seconds", default=0.05,
+                               help="ignore absolute slowdowns smaller "
+                                    "than this (default 0.05s)")
+    p_check_bench.add_argument("--json", action="store_true",
+                               help="print the report as JSON")
+    p_check_bench.set_defaults(func=cmd_bench_check)
+
     return parser
+
+
+#: Run-ledger role per command; commands absent here (top, doctor,
+#: trace, metrics, bench) are read-only observers and open no run.
+_RUN_ROLES = {
+    "verify": "driver", "check": "driver", "lint": "driver",
+    "simulate": "driver", "profile": "driver",
+    "fuzz": "fuzz", "merge-shards": "merge",
+}
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    role = _RUN_ROLES.get(args.command)
+    if role is not None:
+        # open the run ledger before tracing starts, so even the
+        # opening stream-start anchor carries the run stamp
+        begin_run(run_id=getattr(args, "run_id", None), role=role)
     if getattr(args, "trace", None):
         configure_tracing(args.trace)
     try:
@@ -851,6 +1120,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if getattr(args, "trace", None):
             configure_tracing(None)
+        if role is not None:
+            end_run()
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from ..obs import campaign_progress, instant
 from ..runtime import validate_lasso
 from ..verifier import (
     merge_fragments, result_from_merged, shard_fragment,
@@ -339,12 +340,29 @@ def fuzz(count: int = 25,
     replayable ``.dws`` files.
     """
     report = FuzzReport(seed=seed, count=count, rows=tuple(rows))
+    progress = campaign_progress(count)
+    progress.set_info(seed=seed, rows="/".join(rows))
+    try:
+        _fuzz_loop(report, count, seed, corpus_dir, verify_hook, log,
+                   progress)
+    finally:
+        progress.finish()
+    return report
+
+
+def _fuzz_loop(report: FuzzReport, count: int, seed: int,
+               corpus_dir, verify_hook, log, progress) -> None:
     for i in range(count):
         row = report.rows[i % len(report.rows)]
         case_seed = seed * 1_000_003 + i
+        instant("fuzz-case", index=i, seed=case_seed, row=row)
         spec = generate(case_seed, row)
         outcome = run_case(spec, verify_hook=verify_hook)
         report.outcomes.append(outcome)
+        progress.advance(
+            1, failing=int(not outcome.ok),
+            verified=int(outcome.verified),
+        )
         if outcome.ok:
             continue
         if log:
@@ -364,4 +382,3 @@ def fuzz(count: int = 25,
             )
             path.write_text(minimized.to_dws(extra_header=extra))
             report.corpus_files.append(str(path))
-    return report

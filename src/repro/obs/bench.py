@@ -1,0 +1,215 @@
+"""The bench regression sentinel: gate on ``BENCH_*.json`` trajectories.
+
+The benchmark harness appends one metrics entry per (experiment, case)
+run into ``benchmarks/metrics/BENCH_*.json``; PRs commit those files, so
+the directory is the repo's performance trajectory.  Until now it was
+write-only -- nothing *read* the trajectory, so a PR could double a
+sweep's wall time and land green.  ``repro bench check`` closes that
+loop:
+
+* entries are grouped by ``(experiment, case)`` and ordered by their
+  ``recorded_at`` stamp (file position breaks ties);
+* within each group the **newest** entry is compared against the
+  median of all earlier entries;
+* ``wall_seconds`` regresses when the ratio exceeds the threshold
+  (default 1.5x) *and* the absolute slowdown exceeds a noise floor
+  (default 0.05 s) -- micro-cases jitter by scheduler luck, and a 2 ms
+  case tripling is noise, not regression;
+* the determinism metrics (``valuations_checked``, ``system_states``,
+  ``product_nodes_visited``, ``nba_states_total``) and the ``verdict``
+  must match **exactly** whenever all earlier entries agree: these are
+  outputs of a deterministic algorithm, so any drift means the engine
+  changed behaviour, not just speed.
+
+Groups with a single entry have no baseline and are reported as new,
+not checked.  The CLI exits non-zero when any regression is found --
+the CI ``bench-check`` job plants a doctored 2x ``wall_seconds`` entry
+to prove the gate actually fires.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+from typing import Sequence
+
+#: Deterministic outputs that must not drift between runs of one case.
+EXACT_METRICS: tuple[str, ...] = (
+    "valuations_checked", "system_states", "product_nodes_visited",
+    "nba_states_total",
+)
+
+#: Newest ``wall_seconds`` may be at most this multiple of the baseline.
+DEFAULT_MAX_WALL_RATIO = 1.5
+
+#: ...but only slowdowns larger than this many seconds count at all.
+DEFAULT_MIN_WALL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One threshold violation in one (experiment, case) group."""
+
+    experiment: str
+    case: str
+    metric: str
+    baseline: float | str | None
+    latest: float | str | None
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment, "case": self.case,
+            "metric": self.metric, "baseline": self.baseline,
+            "latest": self.latest, "message": self.message,
+        }
+
+
+@dataclass
+class BenchCheckReport:
+    """The sentinel's verdict over one metrics directory."""
+
+    entries: int = 0
+    groups_checked: int = 0
+    groups_new: int = 0
+    regressions: list[Regression] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.bench-check/1",
+            "ok": self.ok,
+            "entries": self.entries,
+            "groups_checked": self.groups_checked,
+            "groups_new": self.groups_new,
+            "regressions": [r.to_dict() for r in self.regressions],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"bench check: {self.entries} entries, "
+            f"{self.groups_checked} cases with history, "
+            f"{self.groups_new} new cases"
+        ]
+        for reg in self.regressions:
+            lines.append(
+                f"REGRESSION {reg.experiment} / {reg.case}: {reg.message}"
+            )
+        lines.append("bench check: "
+                     + ("OK" if self.ok
+                        else f"{len(self.regressions)} regression(s)"))
+        return "\n".join(lines)
+
+
+def load_trajectories(metrics_dir: str | Path) -> list[dict]:
+    """Every entry of every ``BENCH_*.json``, stamped with its origin.
+
+    Files are read in sorted name order and positions preserved, so the
+    (``recorded_at``, origin) sort downstream is total and stable even
+    for entries recorded within the same second.
+    """
+    entries: list[dict] = []
+    paths = sorted(Path(metrics_dir).glob("BENCH_*.json"))
+    if not paths:
+        raise ValueError(f"no BENCH_*.json files under {metrics_dir}")
+    order = 0
+    for path in paths:
+        rows = json.loads(path.read_text())
+        if not isinstance(rows, list):
+            raise ValueError(f"{path}: expected a JSON list of entries")
+        for row in rows:
+            row["_origin"] = (str(path.name), order)
+            order += 1
+            entries.append(row)
+    return entries
+
+
+def _group(entries: Sequence[dict]) -> dict[tuple[str, str], list[dict]]:
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for entry in entries:
+        key = (str(entry.get("experiment")), str(entry.get("case")))
+        groups.setdefault(key, []).append(entry)
+    for rows in groups.values():
+        rows.sort(key=lambda r: (str(r.get("recorded_at", "")),
+                                 r["_origin"]))
+    return groups
+
+
+def _check_group(key: tuple[str, str], rows: Sequence[dict],
+                 max_wall_ratio: float,
+                 min_wall_seconds: float) -> list[Regression]:
+    experiment, case = key
+    latest, earlier = rows[-1], rows[:-1]
+    latest_stats = latest.get("stats") or {}
+    found: list[Regression] = []
+
+    walls = [r["stats"]["wall_seconds"] for r in earlier
+             if isinstance((r.get("stats") or {}).get("wall_seconds"),
+                           (int, float))]
+    wall = latest_stats.get("wall_seconds")
+    if walls and isinstance(wall, (int, float)):
+        baseline = median(walls)
+        if (baseline > 0 and wall / baseline > max_wall_ratio
+                and wall - baseline > min_wall_seconds):
+            found.append(Regression(
+                experiment, case, "wall_seconds", baseline, wall,
+                f"wall_seconds {wall:.4f}s is {wall / baseline:.2f}x the "
+                f"baseline median {baseline:.4f}s "
+                f"(threshold {max_wall_ratio}x)",
+            ))
+
+    for metric in EXACT_METRICS:
+        history = {(r.get("stats") or {}).get(metric) for r in earlier}
+        history.discard(None)
+        if len(history) == 1 and metric in latest_stats:
+            expected = history.pop()
+            if latest_stats[metric] != expected:
+                found.append(Regression(
+                    experiment, case, metric, expected,
+                    latest_stats[metric],
+                    f"{metric} drifted from {expected} to "
+                    f"{latest_stats[metric]} (deterministic output "
+                    f"changed)",
+                ))
+
+    verdicts = {r.get("verdict") for r in earlier}
+    verdicts.discard(None)
+    if len(verdicts) == 1 and latest.get("verdict") is not None:
+        expected = verdicts.pop()
+        if latest["verdict"] != expected:
+            found.append(Regression(
+                experiment, case, "verdict", expected, latest["verdict"],
+                f"verdict flipped from {expected} to {latest['verdict']}",
+            ))
+    return found
+
+
+def check_entries(entries: Sequence[dict],
+                  max_wall_ratio: float = DEFAULT_MAX_WALL_RATIO,
+                  min_wall_seconds: float = DEFAULT_MIN_WALL_SECONDS,
+                  ) -> BenchCheckReport:
+    """Run the sentinel over already-loaded trajectory entries."""
+    report = BenchCheckReport(entries=len(entries))
+    for key, rows in sorted(_group(entries).items()):
+        if len(rows) < 2:
+            report.groups_new += 1
+            continue
+        report.groups_checked += 1
+        report.regressions.extend(
+            _check_group(key, rows, max_wall_ratio, min_wall_seconds))
+    return report
+
+
+def check_directory(metrics_dir: str | Path,
+                    max_wall_ratio: float = DEFAULT_MAX_WALL_RATIO,
+                    min_wall_seconds: float = DEFAULT_MIN_WALL_SECONDS,
+                    ) -> BenchCheckReport:
+    """Load ``BENCH_*.json`` under *metrics_dir* and run the sentinel."""
+    return check_entries(load_trajectories(metrics_dir),
+                         max_wall_ratio=max_wall_ratio,
+                         min_wall_seconds=min_wall_seconds)

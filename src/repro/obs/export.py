@@ -1,0 +1,222 @@
+"""Exporters: stitched traces -> Chrome trace JSON, metrics -> Prometheus.
+
+Two one-way bridges from the repo's private, versioned formats into
+the two de-facto standard observability surfaces:
+
+* :func:`convert_trace_files` turns any number of ``repro.trace/2``
+  JSONL files (driver + workers + remote shards of one run) into one
+  Chrome trace-event JSON document -- the format Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing`` load directly.
+  Stitching, clock alignment, and process attribution come from
+  :func:`repro.obs.ledger.stitch`; this module only reshapes.
+* :func:`render_prometheus` renders a ``repro.metrics/*`` registry
+  snapshot in the Prometheus text exposition format (version 0.0.4),
+  ready to be served from a ``/metrics`` endpoint or pushed through a
+  node-exporter textfile collector.  This is the exposition contract
+  the ROADMAP's ``repro serve`` health endpoint will speak.
+
+Both are exposed on the CLI as ``repro trace convert`` and
+``repro metrics export``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from . import metrics
+from .ledger import StitchedTrace, stitch
+
+#: Microseconds per second -- Chrome trace timestamps are in µs.
+_US = 1_000_000.0
+
+
+def _process_label(pid: int, info: Mapping) -> str:
+    if info.get("role") == "worker":
+        label = f"worker {info['worker']}"
+    else:
+        label = "driver"
+    if info.get("shard"):
+        label = f"shard {info['shard']} {label}"
+    return f"{label} (pid {pid})"
+
+
+def _process_sort_index(info: Mapping) -> int:
+    # drivers first, then workers by index; shards interleave by the
+    # same rule so the Perfetto track order mirrors the hierarchy.
+    if info.get("role") == "worker":
+        return 1 + int(info.get("worker") or 0)
+    return 0
+
+
+def chrome_trace_events(stitched: StitchedTrace) -> list[dict]:
+    """The stitched trace as a Chrome trace-event list.
+
+    Timestamps are wall-aligned microseconds relative to the earliest
+    event across all inputs, so multi-machine traces line up on one
+    axis.  Process metadata events name each track after its role
+    (``driver`` / ``worker i`` / ``shard i/N ...``).
+    """
+    out: list[dict] = []
+    for pid, info in sorted(stitched.processes.items()):
+        out.append({"name": "process_name", "ph": "M", "pid": pid,
+                    "tid": 0, "args": {"name": _process_label(pid, info)}})
+        out.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                    "tid": 0,
+                    "args": {"sort_index": _process_sort_index(info)}})
+    base = stitched.events[0]["wall"] if stitched.events else 0.0
+    for event in stitched.events:
+        converted = {
+            "name": event["name"],
+            "cat": "repro",
+            "ph": event["ph"] if event["ph"] in ("B", "E") else "i",
+            "ts": (event["wall"] - base) * _US,
+            "pid": event["pid"],
+            "tid": event["tid"],
+        }
+        if converted["ph"] == "i":
+            converted["s"] = "t"  # thread-scoped instant
+        args = dict(event.get("args") or {})
+        for key in ("run", "worker", "shard"):
+            if key in event:
+                args[key] = event[key]
+        if args:
+            converted["args"] = args
+        out.append(converted)
+    return out
+
+
+def chrome_trace_document(stitched: StitchedTrace,
+                          inputs: Sequence[str] = ()) -> dict:
+    """The full Chrome trace JSON object (``traceEvents`` wrapper)."""
+    return {
+        "traceEvents": chrome_trace_events(stitched),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro.trace.chrome/1",
+            "source_schema": "repro.trace/2",
+            "run_ids": list(stitched.run_ids),
+            "inputs": [str(p) for p in inputs],
+            "processes": len(stitched.processes),
+            "corrupt_lines": stitched.corrupt_lines,
+        },
+    }
+
+
+def convert_trace_files(inputs: Sequence[str | Path],
+                        output: str | Path | None = None) -> dict:
+    """Stitch *inputs* and convert; optionally write the JSON to *output*."""
+    stitched = stitch(inputs)
+    doc = chrome_trace_document(stitched, inputs=[str(p) for p in inputs])
+    if output is not None:
+        Path(output).write_text(json.dumps(doc, default=str) + "\n")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+
+
+def _prom_name(name: str, prefix: str = "repro_") -> str:
+    """A valid Prometheus metric name for a registry metric name."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not re.match(r"[a-zA-Z_]", sanitized):
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def extract_registry_snapshot(doc: Mapping) -> Mapping:
+    """Find the registry snapshot inside any of the on-disk JSON shapes.
+
+    Accepts a bare ``repro.metrics/*`` snapshot, a ``--metrics-json``
+    document (snapshot under ``registry``), or a shard fragment /
+    merged document (snapshot under ``metrics``).
+    """
+    # nested forms first: the --metrics-json wrapper reuses the
+    # repro.metrics/* schema tag at its own top level, so a bare-
+    # snapshot check must not shadow the registry inside it
+    for key in ("registry", "metrics"):
+        inner = doc.get(key)
+        if (isinstance(inner, Mapping)
+                and inner.get("schema") in metrics.COMPAT_SCHEMAS):
+            return inner
+    if (doc.get("schema") in metrics.COMPAT_SCHEMAS
+            and isinstance(doc.get("counters"), Mapping)):
+        return doc
+    raise ValueError(
+        "no repro.metrics/1-or-/2 registry snapshot found in document "
+        f"(top-level schema {doc.get('schema')!r})"
+    )
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """A registry snapshot in Prometheus text exposition format 0.0.4.
+
+    Counters become ``repro_<name>_total``; gauges keep their name;
+    histograms emit the standard cumulative ``_bucket{le=...}`` series
+    (our registry stores per-bucket counts with inclusive upper bounds,
+    which accumulate into exactly Prometheus's ``le`` semantics) plus
+    ``_sum``/``_count``; phase accumulators become
+    ``repro_phase_seconds_total{phase="..."}`` and
+    ``repro_phase_runs_total{phase="..."}``.  A run-ledger id, when
+    present, is exposed as the standard info-metric pattern
+    ``repro_run_info{run="..."} 1`` rather than as a label on every
+    series (which would explode cardinality across runs).
+    """
+    lines: list[str] = []
+    run_id = snapshot.get("run")
+    if run_id:
+        lines += [
+            "# HELP repro_run_info Run-ledger identity of this snapshot.",
+            "# TYPE repro_run_info gauge",
+            f'repro_run_info{{run="{run_id}"}} 1',
+        ]
+    for name, value in (snapshot.get("counters") or {}).items():
+        prom = _prom_name(name) + "_total"
+        lines += [
+            f"# TYPE {prom} counter",
+            f"{prom} {_prom_value(value)}",
+        ]
+    for name, value in (snapshot.get("gauges") or {}).items():
+        prom = _prom_name(name)
+        lines += [
+            f"# TYPE {prom} gauge",
+            f"{prom} {_prom_value(value)}",
+        ]
+    for name, hist in (snapshot.get("histograms") or {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for boundary, count in zip(hist["boundaries"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(boundary)}"}} {cumulative}'
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{prom}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{prom}_count {hist['count']}")
+    phases = snapshot.get("phases") or {}
+    if phases:
+        lines.append("# TYPE repro_phase_seconds_total counter")
+        for name, entry in phases.items():
+            lines.append(
+                f'repro_phase_seconds_total{{phase="{name}"}} '
+                f"{_prom_value(entry['seconds'])}"
+            )
+        lines.append("# TYPE repro_phase_runs_total counter")
+        for name, entry in phases.items():
+            lines.append(
+                f'repro_phase_runs_total{{phase="{name}"}} '
+                f"{entry['count']}"
+            )
+    return "\n".join(lines) + "\n"

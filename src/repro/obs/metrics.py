@@ -16,8 +16,17 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Mapping
 
-#: Version tag stamped on every registry snapshot.
-SCHEMA = "repro.metrics/1"
+#: Version tag stamped on every registry snapshot.  ``/2`` adds an
+#: optional top-level ``run`` key (the run-ledger id) and allows the
+#: ``shm.segments_active`` additive gauge; the numeric layout of
+#: counters/gauges/histograms/phases is unchanged from ``/1``.
+SCHEMA = "repro.metrics/2"
+
+#: Snapshot schemas the merge paths accept.  Committed ``BENCH_*.json``
+#: trajectories and shard fragments written by older builds carry
+#: ``/1``; their numeric payload is layout-identical, so merges and the
+#: bench sentinel read both.
+COMPAT_SCHEMAS = frozenset({"repro.metrics/1", "repro.metrics/2"})
 
 #: Default histogram boundaries for durations in seconds (upper bounds;
 #: one overflow bucket is implied past the last boundary).
@@ -55,6 +64,9 @@ class Gauge:
     def set_max(self, value: float) -> None:
         if value > self.value:
             self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
 
 
 class Histogram:
@@ -135,8 +147,15 @@ class MetricsRegistry:
         self.phase_counts.clear()
 
     def snapshot(self) -> dict:
-        """A JSON-able snapshot of everything recorded in this process."""
-        return {
+        """A JSON-able snapshot of everything recorded in this process.
+
+        When a run-ledger context is active, the snapshot carries the
+        ``run`` id so metrics files correlate with trace files of the
+        same run; without one the key is absent, keeping snapshots of
+        library-level calls byte-stable.
+        """
+        from . import ledger  # local: ledger imports trace, not metrics
+        out = {
             "schema": SCHEMA,
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
@@ -156,6 +175,10 @@ class MetricsRegistry:
                 for name in sorted(self.phase_seconds)
             },
         }
+        run_id = ledger.current_run_id()
+        if run_id is not None:
+            out["run"] = run_id
+        return out
 
 
 def counters_snapshot() -> dict[str, int]:
@@ -177,7 +200,7 @@ def merge_counters(delta: Mapping) -> None:
 
 
 def merge_registry_snapshot(snapshot: Mapping) -> None:
-    """Fold a full ``repro.metrics/1`` snapshot into this registry.
+    """Fold a full ``repro.metrics/1``-or-``/2`` snapshot into this registry.
 
     The shard-merge primitive: each shard of a distributed sweep writes
     ``REGISTRY.snapshot()`` into its fragment, and ``repro merge-shards``
@@ -189,10 +212,10 @@ def merge_registry_snapshot(snapshot: Mapping) -> None:
     otherwise (mismatched boundaries cannot be combined losslessly).
     """
     schema = snapshot.get("schema")
-    if schema != SCHEMA:
+    if schema not in COMPAT_SCHEMAS:
         raise ValueError(
             f"cannot merge metrics snapshot with schema {schema!r}; "
-            f"expected {SCHEMA!r}"
+            f"expected one of {sorted(COMPAT_SCHEMAS)}"
         )
     merge_counters(snapshot.get("counters", {}))
     for name, value in snapshot.get("gauges", {}).items():

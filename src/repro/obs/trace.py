@@ -1,6 +1,6 @@
 """Structured trace events as JSONL: span begin/end plus instants.
 
-Event schema (one JSON object per line; ``repro.trace/1``):
+Event schema (one JSON object per line; ``repro.trace/2``):
 
 ``ts``
     seconds on the shared monotonic clock (comparable across the
@@ -12,14 +12,28 @@ Event schema (one JSON object per line; ``repro.trace/1``):
 ``name``
     the span/instant name (phase names for pipeline spans);
 ``args``
-    optional JSON object of extra fields (instants only).
+    optional JSON object of extra fields (instants only);
+``run`` / ``worker`` / ``shard``
+    the run-ledger stamp (:mod:`repro.obs.ledger`): the run id this
+    event belongs to, the pool-worker index, and the ``i/N`` shard
+    selector.  Present whenever a run context is active; these fields
+    are what lets ``repro trace convert`` stitch JSONL files from many
+    processes -- and many machines -- into one causally-ordered trace.
+
+The first event a process writes into the sink is a ``stream-start``
+instant whose ``args`` carry the schema tag and a ``wall`` epoch
+timestamp.  That pairing of (monotonic ``ts``, epoch ``wall``) is the
+stream's clock anchor: exporters compute ``wall - ts`` per pid and can
+then place events from different files -- whose monotonic clocks are
+not comparable across machines -- on one shared wall-clock axis.
 
 Within one ``(pid, tid)`` stream, ``B``/``E`` events are properly
 nested and balanced -- spans are emitted by :class:`repro.obs.phases.
-phase`, a context manager.  Across processes the file is append-only:
-every event is written as one ``write()`` of a full line to a file
-opened in append mode, so concurrent writers do not interleave
-mid-line.
+phase`, a context manager.  Across processes the file is append-only
+and **unbuffered**: every event is one ``write()`` of a full line on an
+``O_APPEND`` handle opened with ``buffering=0``, so concurrent writers
+never interleave mid-line and a fork can never capture half a line in
+a userspace buffer.
 
 Disabled (the default) means one module-global boolean check per
 candidate event -- no clock reads, no allocation.
@@ -31,34 +45,41 @@ import json
 import os
 import threading
 import time
+from typing import Mapping
 
-#: Version tag stamped on the stream's opening instant event.
-SCHEMA = "repro.trace/1"
+#: Version tag stamped on every stream's opening instant event.
+SCHEMA = "repro.trace/2"
 
 _ENABLED = False
 _PATH: str | None = None
 _FILE = None
 _LOCK = threading.Lock()
+#: Run-ledger fields merged into every event (``run``/``worker``/...).
+_STAMP: dict = {}
+#: The pid that has written its ``stream-start`` anchor to the sink.
+_ANCHORED_PID: int | None = None
 
 
-def configure_tracing(path: str | None) -> None:
-    """Start tracing to *path* (truncating it), or stop with ``None``."""
-    global _ENABLED, _PATH, _FILE
+def configure_tracing(path: str | None, truncate: bool = True) -> None:
+    """Start tracing to *path*, or stop with ``None``.
+
+    ``truncate=True`` (the driver's path) starts a fresh file;
+    ``truncate=False`` attaches to an existing sink in append mode --
+    how a spawn-started pool worker joins the driver's trace file
+    (:func:`repro.obs.ledger.adopt_worker`).
+    """
+    global _ENABLED, _PATH, _FILE, _ANCHORED_PID
     with _LOCK:
         if _FILE is not None:
             _FILE.close()
             _FILE = None
         _PATH = path
         _ENABLED = path is not None
-        if path is not None:
-            # Truncate, then write in append mode: O_APPEND writes land
-            # at end-of-file atomically, so the driver and fork-started
-            # workers can share one sink without tearing lines.  A "w"
-            # handle would keep its own offset and overwrite them.
+        _ANCHORED_PID = None
+        if path is not None and truncate:
             open(path, "w").close()
-            _FILE = open(path, "a")
     if path is not None:
-        instant("trace-start", schema=SCHEMA)
+        instant("stream-start", schema=SCHEMA, wall=time.time())
 
 
 def tracing_enabled() -> bool:
@@ -69,26 +90,79 @@ def trace_path() -> str | None:
     return _PATH
 
 
-def reopen_in_child() -> None:
-    """Drop the inherited file handle; the next event reopens for append.
+def set_stamp(fields: Mapping | None) -> None:
+    """Install the run-ledger stamp merged into every subsequent event.
 
-    Called from the pool-worker initializer so a forked child does not
-    share the parent's userspace file buffer.
+    Called by :mod:`repro.obs.ledger` when a run context begins or
+    ends; pass ``None`` (or ``{}``) to clear.  Keys land at the top
+    level of each event (``run``, ``worker``, ``shard``).
     """
-    global _FILE
+    global _STAMP
+    _STAMP = dict(fields) if fields else {}
+
+
+def stamp() -> dict:
+    """A copy of the current run-ledger stamp."""
+    return dict(_STAMP)
+
+
+def reopen_in_child() -> None:
+    """Flush and drop the inherited handle; the next event reopens.
+
+    Called from the pool-worker initializer.  A forked child inherits
+    the parent's open handle *and* its lock: the handle is flushed and
+    closed (the sink is unbuffered, so this releases the child's dup of
+    the file descriptor without ever replaying parent bytes -- a
+    garbage-collected inherited handle can therefore never emit a
+    partial line into the shared file), and the lock is replaced with a
+    fresh one, because the inherited lock may have been held at fork
+    time by a parent thread that does not exist in the child.  The pid
+    anchor resets so the child's first event is preceded by its own
+    ``stream-start`` clock anchor.
+    """
+    global _FILE, _LOCK, _ANCHORED_PID
+    _LOCK = threading.Lock()
+    inherited = _FILE
     _FILE = None
+    _ANCHORED_PID = None
+    if inherited is not None:
+        try:
+            inherited.flush()
+            inherited.close()
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            pass
+
+
+def _encode(event: dict) -> bytes:
+    return (json.dumps(event, separators=(",", ":"), default=str)
+            + "\n").encode("utf-8")
 
 
 def _write(event: dict) -> None:
-    global _FILE
-    line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+    global _FILE, _ANCHORED_PID
+    if _STAMP:
+        event = {**event, **_STAMP}
     with _LOCK:
         if _FILE is None:
             if _PATH is None:
                 return
-            _FILE = open(_PATH, "a")
-        _FILE.write(line)
-        _FILE.flush()
+            # O_APPEND + buffering=0: every line is a single atomic
+            # write syscall landing at end-of-file, even with the
+            # driver and fork-started workers sharing one sink.
+            _FILE = open(_PATH, "ab", buffering=0)
+        pid = event["pid"]
+        if pid != _ANCHORED_PID:
+            _ANCHORED_PID = pid
+            if event.get("name") != "stream-start":
+                anchor = {
+                    "ts": event["ts"], "pid": pid, "tid": event["tid"],
+                    "ph": "I", "name": "stream-start",
+                    "args": {"schema": SCHEMA, "wall": time.time()},
+                }
+                if _STAMP:
+                    anchor = {**anchor, **_STAMP}
+                _FILE.write(_encode(anchor))
+        _FILE.write(_encode(event))
 
 
 def emit_span(ph: str, name: str) -> None:

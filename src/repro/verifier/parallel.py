@@ -64,10 +64,12 @@ from ..ltl.formulas import land, latom, lfinally, lglobally, lnot
 from ..ltl.translate import ltl_to_buchi
 from ..ltlfo.formulas import LTLFOSentence
 from ..obs import (
-    PHASE_SWEEP, REGISTRY, counter, counters_snapshot, diff_numeric,
+    NULL_PROGRESS, PHASE_SWEEP, REGISTRY, counter, counters_snapshot,
+    diff_numeric,
     gauge, instant, merge_counters, merge_numeric, phase, phase_counts,
-    phase_seconds, reset_for_worker,
+    phase_seconds, reset_for_worker, sweep_progress,
 )
+from ..obs import ledger
 from ..runtime.run import Lasso
 from ..runtime.step import (
     clear_rule_cache, rule_cache_delta, rule_cache_info,
@@ -382,9 +384,14 @@ def payload_to_bytes(payload: SweepPayload, workers: int = 1) -> bytes:
 _WORKER: dict = {}
 
 
-def _init_worker(payload_bytes: bytes, cancel) -> None:
+def _init_worker(payload_bytes: bytes, cancel,
+                 bootstrap: dict | None = None) -> None:
     clear_rule_cache()
     reset_for_worker()
+    # join the driver's run ledger (and, under spawn, re-attach the
+    # trace sink) so this worker's spans carry run/worker/shard stamps
+    # and land in the same stitched trace as the driver's
+    ledger.adopt_worker(bootstrap)
     _WORKER["payload"] = pickle.loads(payload_bytes)
     _WORKER["cancel"] = cancel
     _WORKER["caches"] = {}
@@ -596,7 +603,8 @@ def _put(results, message) -> None:
 
 def _worker_main(worker_idx: int, n_workers: int, cap: int,
                  payload_bytes: bytes, batches_bytes: bytes,
-                 cancel, slots, heads, tails, locks, results) -> None:
+                 cancel, slots, heads, tails, locks, results,
+                 bootstrap: dict | None = None) -> None:
     """Pool worker: claim batches (own deque, then steals) until dry.
 
     Ships one ``("outcome", ...)`` message per task and a final
@@ -606,7 +614,8 @@ def _worker_main(worker_idx: int, n_workers: int, cap: int,
     metrics stay truthful under any schedule.
     """
     try:
-        _init_worker(payload_bytes, cancel)
+        _init_worker(payload_bytes, cancel, bootstrap)
+        instant("worker-start", n_workers=n_workers)
         payload: SweepPayload = _WORKER["payload"]
         caches: dict = _WORKER["caches"]
         batches: list[tuple[SweepTask, ...]] = pickle.loads(batches_bytes)
@@ -638,6 +647,7 @@ def _worker_main(worker_idx: int, n_workers: int, cap: int,
             "phase_seconds": diff_numeric(phase_seconds(), shipped_seconds),
             "phase_counts": diff_numeric(phase_counts(), shipped_counts),
         }
+        instant("worker-done")
         _put(results, ("done", worker_idx, residual))
     except BaseException as exc:  # ship the failure, then die loudly
         try:
@@ -656,7 +666,8 @@ def _worker_main(worker_idx: int, n_workers: int, cap: int,
 
 
 def _run_sweep_sequential(payload: SweepPayload,
-                          tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
+                          tasks: Sequence[SweepTask],
+                          progress=NULL_PROGRESS) -> list[TaskOutcome]:
     """In-process reference sweep: deterministic order, per-group early stop."""
     outcomes: list[TaskOutcome] = []
     caches: dict = {}
@@ -664,10 +675,15 @@ def _run_sweep_sequential(payload: SweepPayload,
     for task in sorted(tasks, key=lambda t: (t.group, t.order)):
         if decided.get(task.group, _UNDECIDED) < task.order:
             outcomes.append(_cancelled_outcome(task))
+            progress.advance(1, cancelled=1)
             continue
         cache, engine = _context_cache(payload, task.ctx, caches)
         outcome = _execute_task(payload, task, cache, engine, None)
         outcomes.append(outcome)
+        progress.advance(
+            1, violated=int(outcome.lasso_cycle is not None),
+            product_nodes=outcome.blue_visited + outcome.red_visited,
+        )
         if outcome.lasso_cycle is not None:
             decided[task.group] = min(
                 decided.get(task.group, _UNDECIDED), task.order
@@ -697,18 +713,36 @@ def run_sweep(payload: SweepPayload, tasks: Sequence[SweepTask],
     space.
     """
     with phase(PHASE_SWEEP):
-        if workers <= 1 or len(tasks) <= 1:
-            return _run_sweep_sequential(payload, tasks), False
+        progress = sweep_progress(len(tasks))
+        progress.set_info(
+            workers=workers,
+            groups=len({t.group for t in tasks}),
+            graph_states=(payload.frozen_graph.num_states
+                          if payload.frozen_graph is not None else None),
+        )
+        instant("sweep-start", tasks=len(tasks), workers=workers)
         try:
-            payload_bytes = payload_to_bytes(payload, workers)
-        except Exception:
-            return _run_sweep_sequential(payload, tasks), False
-        try:
-            return _run_sweep_pool(payload, payload_bytes, tasks,
-                                   workers), True
-        except BrokenProcessPool:
-            counter("sweep.pool_broken").inc()
-            return _run_sweep_sequential(payload, tasks), False
+            if workers <= 1 or len(tasks) <= 1:
+                return _run_sweep_sequential(payload, tasks,
+                                             progress), False
+            try:
+                payload_bytes = payload_to_bytes(payload, workers)
+            except Exception:
+                return _run_sweep_sequential(payload, tasks,
+                                             progress), False
+            try:
+                return _run_sweep_pool(payload, payload_bytes, tasks,
+                                       workers, progress), True
+            except BrokenProcessPool:
+                counter("sweep.pool_broken").inc()
+                # start the progress story over: the sequential rerun
+                # re-executes the full grid from scratch
+                progress.reset()
+                return _run_sweep_sequential(payload, tasks,
+                                             progress), False
+        finally:
+            progress.finish()
+            instant("sweep-done", tasks=len(tasks))
 
 
 def _check_liveness(procs, pending: int) -> None:
@@ -726,7 +760,8 @@ def _check_liveness(procs, pending: int) -> None:
 
 def _run_sweep_pool(payload: SweepPayload, payload_bytes: bytes,
                     tasks: Sequence[SweepTask],
-                    workers: int) -> list[TaskOutcome]:
+                    workers: int,
+                    progress=NULL_PROGRESS) -> list[TaskOutcome]:
     """The work-stealing pool: deal batches, collect outcomes, stay live.
 
     The driver is purely a collector -- all scheduling decisions happen
@@ -758,7 +793,8 @@ def _run_sweep_pool(payload: SweepPayload, payload_bytes: bytes,
         ctx.Process(
             target=_worker_main,
             args=(w, n_workers, cap, payload_bytes, batches_bytes,
-                  cancel, slots, heads, tails, locks, results),
+                  cancel, slots, heads, tails, locks, results,
+                  ledger.worker_bootstrap(w)),
             daemon=True,
         )
         for w in range(n_workers)
@@ -773,12 +809,21 @@ def _run_sweep_pool(payload: SweepPayload, payload_bytes: bytes,
                 raw = results.get(timeout=_POLL_SECONDS)
             except queue_mod.Empty:
                 _check_liveness(procs, pending)
+                progress.tick()
                 continue
             message = pickle.loads(raw)
             kind = message[0]
             if kind == "outcome":
-                outcomes.append(message[1])
+                outcome = message[1]
+                outcomes.append(outcome)
                 pending -= 1
+                progress.advance(
+                    1,
+                    violated=int(outcome.lasso_cycle is not None),
+                    cancelled=int(outcome.cancelled),
+                    product_nodes=(outcome.blue_visited
+                                   + outcome.red_visited),
+                )
             elif kind == "done":
                 residual = message[2]
                 merge_counters(residual["counters"])

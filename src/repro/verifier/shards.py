@@ -35,6 +35,8 @@ import hashlib
 import pickle
 from typing import Mapping, Sequence
 
+from ..obs import ledger
+from ..obs.metrics import COMPAT_SCHEMAS as METRICS_COMPAT
 from ..obs.metrics import SCHEMA as METRICS_SCHEMA
 from ..obs.metrics import REGISTRY, merge_numeric
 from ..spec.composition import Composition
@@ -106,6 +108,7 @@ def shard_fragment(results: Sequence[VerificationResult],
     return {
         "schema": SHARD_SCHEMA,
         "shard": {"index": index, "count": count},
+        "run_id": ledger.current_run_id(),
         "spec_sha": (spec_sha(composition)
                      if composition is not None else None),
         "metrics": REGISTRY.snapshot(),
@@ -127,10 +130,11 @@ def merge_metrics_snapshots(snapshots: Sequence[Mapping]) -> dict:
     phase_seconds: dict = {}
     phase_counts: dict = {}
     for snap in snapshots:
-        if snap.get("schema") != METRICS_SCHEMA:
+        if snap.get("schema") not in METRICS_COMPAT:
             raise ValueError(
                 f"cannot merge metrics snapshot with schema "
-                f"{snap.get('schema')!r}; expected {METRICS_SCHEMA!r}"
+                f"{snap.get('schema')!r}; expected one of "
+                f"{sorted(METRICS_COMPAT)}"
             )
         merge_numeric(counters, snap.get("counters", {}))
         for name, value in snap.get("gauges", {}).items():
@@ -290,6 +294,9 @@ def merge_fragments(fragments: Sequence[Mapping]) -> dict:
     return {
         "schema": MERGED_SCHEMA,
         "shards": count,
+        "run_ids": sorted(
+            {frag.get("run_id") for frag in ordered} - {None}
+        ),
         "metrics": merge_metrics_snapshots(
             [frag["metrics"] for frag in ordered]
         ),

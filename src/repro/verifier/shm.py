@@ -144,6 +144,7 @@ class GraphSegment:
             raise
         counter("graph.shm_segments").inc()
         gauge("graph.shm_bytes").set(size)
+        gauge("shm.segments_active").set(len(_ACTIVE) + 1)
         handle = ShmGraphHandle(
             name=shm.name, n_states=graph.num_states,
             n_offsets=len(graph.offsets), n_targets=len(graph.targets),
@@ -169,6 +170,7 @@ class GraphSegment:
             counter("graph.shm_unlinks").inc()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
+        gauge("shm.segments_active").set(len(_ACTIVE))
 
     def __enter__(self) -> "GraphSegment":
         return self
@@ -245,6 +247,7 @@ def attach_graph(handle: ShmGraphHandle) -> tuple[ExploredGraph, object]:
     pos += n_targets * itemsize
     states, initial_ids, budget = pickle.loads(buf[pos:pos + blob_len])
     counter("graph.shm_attaches").inc()
+    gauge("shm.segments_active").add(1)
     graph = ExploredGraph(states, initial_ids, offsets, targets, budget)
     return graph, shm
 
@@ -261,6 +264,7 @@ def detach_graph(graph: ExploredGraph, shm: object) -> None:
         if isinstance(view, memoryview):
             view.release()
     shm.close()
+    gauge("shm.segments_active").add(-1)
 
 
 def leaked_segments() -> list[str]:
@@ -276,3 +280,32 @@ def leaked_segments() -> list[str]:
         )
     except OSError:  # pragma: no cover - non-Linux
         return []
+
+
+def clean_segments(names: list[str] | None = None) -> list[str]:
+    """Unlink stale repro graph segments (``repro doctor --clean``).
+
+    *names* defaults to everything :func:`leaked_segments` reports --
+    segments left behind by crashed drivers, which no live process owns
+    (the atexit guard covers normal interpreter death but not SIGKILL).
+    Returns the names actually removed; segments that vanish or resist
+    between the scan and the unlink are skipped, not fatal.
+    """
+    removed: list[str] = []
+    for name in (leaked_segments() if names is None else names):
+        try:
+            shm = _attach_segment(name)
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            continue
+        except OSError:  # pragma: no cover - permissions, odd platforms
+            try:
+                os.unlink(os.path.join("/dev/shm", name))
+            except OSError:
+                continue
+        removed.append(name)
+    if removed:
+        counter("shm.segments_cleaned").inc(len(removed))
+        gauge("shm.segments_active").set(len(leaked_segments()))
+    return removed

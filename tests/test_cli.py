@@ -145,9 +145,9 @@ class TestObservabilityFlags:
                      "--metrics-json", str(out)])
         assert code == 0
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro.metrics/1"
+        assert payload["schema"] == "repro.metrics/2"
         assert payload["command"] == "verify"
-        assert payload["registry"]["schema"] == "repro.metrics/1"
+        assert payload["registry"]["schema"] == "repro.metrics/2"
         (entry,) = payload["results"]
         assert entry["property"] == "safety"
         assert entry["verdict"] == "SATISFIED"
@@ -161,7 +161,10 @@ class TestObservabilityFlags:
         assert code == 0
         events = [json.loads(line)
                   for line in out.read_text().splitlines() if line]
-        assert events[0]["name"] == "trace-start"
+        assert events[0]["name"] == "stream-start"
+        # CLI entry points open a run-ledger context, so every event is
+        # stamped with the run id
+        assert all(ev.get("run") for ev in events)
         names = {ev["name"] for ev in events}
         assert {"search", "expand"} <= names
         # tracing is switched back off after main() returns

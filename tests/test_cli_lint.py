@@ -113,7 +113,7 @@ class TestFormats:
         metrics = tmp_path / "metrics.json"
         main(["lint", clean_file, "--metrics-json", str(metrics)])
         payload = json.loads(metrics.read_text())
-        assert payload["schema"] == "repro.metrics/1"
+        assert payload["schema"] == "repro.metrics/2"
         [entry] = payload["results"]
         assert entry["target"] == clean_file
         assert entry["passes"][-1] == "decidability"

@@ -1,7 +1,7 @@
 """Tests for the observability layer (repro.obs).
 
 The golden-schema tests pin down the external formats -- the
-``repro.trace/1`` JSONL event stream and the ``repro.metrics/1``
+``repro.trace/2`` JSONL event stream and the ``repro.metrics/2``
 registry snapshot -- so downstream tooling can rely on them; they are
 marked ``obs`` and run in tier-1.
 """
@@ -93,14 +93,15 @@ class TestMetricsRegistry:
 
 @pytest.mark.obs
 class TestMetricsSnapshotSchema:
-    """Golden schema of the repro.metrics/1 registry snapshot."""
+    """Golden schema of the repro.metrics/2 registry snapshot."""
 
     def test_top_level_keys(self):
         snap = REGISTRY.snapshot()
+        # no run-ledger context is active in tests, so no "run" key
         assert set(snap) == {
             "schema", "counters", "gauges", "histograms", "phases",
         }
-        assert snap["schema"] == "repro.metrics/1"
+        assert snap["schema"] == "repro.metrics/2"
         assert snap["schema"] == metrics_mod.SCHEMA
 
     def test_snapshot_is_json_able_and_sorted(self):
@@ -183,7 +184,7 @@ def _read_events(path):
 
 @pytest.mark.obs
 class TestTraceSchema:
-    """Golden schema of the repro.trace/1 JSONL stream."""
+    """Golden schema of the repro.trace/2 JSONL stream."""
 
     def test_disabled_by_default(self):
         assert not tracing_enabled()
@@ -214,9 +215,11 @@ class TestTraceSchema:
         configure_tracing(None)
         events = _read_events(path)
         assert events[0]["ph"] == "I"
-        assert events[0]["name"] == "trace-start"
-        assert events[0]["args"]["schema"] == "repro.trace/1"
+        assert events[0]["name"] == "stream-start"
+        assert events[0]["args"]["schema"] == "repro.trace/2"
         assert events[0]["args"]["schema"] == trace_mod.SCHEMA
+        # the anchor pairs the monotonic ts with an epoch wall clock
+        assert isinstance(events[0]["args"]["wall"], float)
 
     def test_spans_balanced_and_nested(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -107,7 +107,7 @@ def test_observed_run_matches_plain_run(tmp_path, label, comp, dbs, prop,
         json.loads(line)
         for line in trace_file.read_text().splitlines() if line.strip()
     ]
-    assert events[0]["name"] == "trace-start"
+    assert events[0]["name"] == "stream-start"
     assert any(ev["ph"] == "B" for ev in events)
     if workers > 1:
         # fork-started workers append to the same file
