@@ -17,6 +17,9 @@ Code ranges:
 * ``DWV2xx`` -- reachability and unused symbols
 * ``DWV3xx`` -- channel discipline and spec structure
 * ``DWV4xx`` -- decidability classification (Theorems 3.4-3.10, 4.2-4.6)
+* ``DWV5xx`` -- interprocedural communication flow (deadlocks, orphan
+  flows, multi-hop dropped-message chains)
+* ``DWV6xx`` -- data provenance (invented values crossing peers)
 """
 
 from __future__ import annotations
@@ -176,6 +179,43 @@ CODES: dict[str, CodeInfo] = {
         "the verifier remains sound for bug finding over the bounded "
         "domain, but exhausting the search proves nothing in general",
     ),
+    # -- communication flow (interprocedural) ----------------------------
+    "DWV501": CodeInfo(
+        "blocking-receive cycle (static deadlock)", Severity.WARNING,
+        "Definition 2.4 (communication semantics)",
+        "every producer of every channel in the cycle waits on another "
+        "channel of the cycle; make at least one send rule fireable "
+        "from inputs or database atoms alone",
+    ),
+    "DWV502": CodeInfo(
+        "orphan message flow: every consuming rule is dead",
+        Severity.WARNING, "Definition 2.4",
+        "the receiver mentions the queue only in rules that can never "
+        "fire under the propositional abstraction; fix the dead guards "
+        "or drop the send",
+    ),
+    "DWV503": CodeInfo(
+        "multi-hop dropped-message chain", Severity.WARNING,
+        "Section 3.1 (bounded queues) / Definition 2.4",
+        "the payload is only ever relayed into queues that provably "
+        "drop it under the k-bounded semantics; consume it with an "
+        "insert/delete/action/input rule somewhere, or remove the relay",
+    ),
+    # -- data provenance (interprocedural) -------------------------------
+    "DWV601": CodeInfo(
+        "cross-peer input-boundedness erosion", Severity.WARNING,
+        "Section 3.1 / Theorem 3.4",
+        "the quantifier is guarded by a queue whose payload can carry "
+        "invented values; bind the sender's head variables with input, "
+        "database, or queue atoms",
+    ),
+    "DWV602": CodeInfo(
+        "message payload carries invented values", Severity.NOTE,
+        "Section 3.1",
+        "some head variable of a rule sending into this channel is not "
+        "bound by any positive input/database/queue atom; pin it to a "
+        "constant or bind it if the free choice is unintended",
+    ),
 }
 
 
@@ -186,7 +226,9 @@ class Diagnostic:
     ``where`` is the human-readable location path ("peer O, send rule
     for getRating"); ``peer``/``rule`` are its machine-readable parts
     when known.  ``subject`` is the offending formula, relation, or
-    configuration rendered as text.
+    configuration rendered as text.  ``provenance`` is the explanation
+    chain (one atom hop per entry) for findings the provenance analysis
+    can trace to their origin.
     """
 
     code: str
@@ -198,12 +240,15 @@ class Diagnostic:
     subject: str = ""
     hint: str = ""
     ref: str = ""
+    provenance: tuple[str, ...] = ()
 
     def render(self) -> str:
-        """The canonical one-line text rendering (plus a hint line)."""
+        """The canonical one-line text rendering (plus hint/provenance)."""
         loc = f" [{self.where}]" if self.where else ""
         subj = f": {self.subject}" if self.subject else ""
         line = f"{self.code} {self.severity.value}{loc} {self.message}{subj}"
+        for entry in self.provenance:
+            line += f"\n    provenance: {entry}"
         if self.hint:
             line += f"\n    hint: {self.hint}"
         return line
@@ -211,12 +256,30 @@ class Diagnostic:
     def to_dict(self) -> dict:
         out = asdict(self)
         out["severity"] = self.severity.value
+        out["provenance"] = list(self.provenance)
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        """The inverse of :meth:`to_dict` (lint-cache round trip)."""
+        return cls(
+            code=data["code"],
+            message=data["message"],
+            severity=Severity(data.get("severity", "error")),
+            where=data.get("where", ""),
+            peer=data.get("peer"),
+            rule=data.get("rule"),
+            subject=data.get("subject", ""),
+            hint=data.get("hint", ""),
+            ref=data.get("ref", ""),
+            provenance=tuple(data.get("provenance", ())),
+        )
 
 
 def make(code: str, message: str, *, severity: Severity | None = None,
          where: str = "", peer: str | None = None, rule: str | None = None,
-         subject: str = "", hint: str | None = None) -> Diagnostic:
+         subject: str = "", hint: str | None = None,
+         provenance: Sequence[str] = ()) -> Diagnostic:
     """Build a diagnostic, defaulting severity/ref/hint from the catalog."""
     info = CODES[code]
     return Diagnostic(
@@ -229,6 +292,7 @@ def make(code: str, message: str, *, severity: Severity | None = None,
         subject=subject,
         hint=info.hint if hint is None else hint,
         ref=info.ref,
+        provenance=tuple(provenance),
     )
 
 
@@ -255,6 +319,37 @@ def render_report(diagnostics: Sequence[Diagnostic]) -> str:
     return "\n".join(d.render() for d in sorted(diagnostics, key=sort_key))
 
 
+#: GitHub Actions annotation level per severity.
+_GITHUB_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "notice",
+}
+
+
+def _github_escape(text: str) -> str:
+    """Escape annotation message data per the workflow-command grammar."""
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def render_github(diagnostics: Sequence[Diagnostic]) -> str:
+    """GitHub Actions ``::error``/``::warning``/``::notice`` annotations.
+
+    ``.dws`` documents have no stable line numbers after continuation
+    joining, so the annotations are file/line-free and carry the
+    ``where=`` location path inside the message instead.
+    """
+    lines = []
+    for d in sorted(diagnostics, key=sort_key):
+        message = f"[{d.where}] {d.message}" if d.where else d.message
+        if d.subject:
+            message += f": {d.subject}"
+        lines.append(f"::{_GITHUB_LEVEL[d.severity]} "
+                     f"title={d.code}::{_github_escape(message)}")
+    return "\n".join(lines)
+
+
 def to_json(diagnostics: Sequence[Diagnostic], *, extra: dict | None = None,
             ) -> str:
     """The machine-readable JSON report (schema ``repro.lint/1``)."""
@@ -277,6 +372,8 @@ class LintReport:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     classifications: dict[str, "object"] = field(default_factory=dict)
     passes_run: list[str] = field(default_factory=list)
+    #: Static cost hints from the cost-model pass (see analysis.cost).
+    cost_hints: dict = field(default_factory=dict)
 
     def extend(self, diags: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diags)

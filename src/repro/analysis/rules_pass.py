@@ -203,15 +203,26 @@ def _check_shadowed_disjuncts(peer_name: str, rule: Rule,
                     break
 
 
+def peer_rules_diagnostics(peer) -> list[Diagnostic]:
+    """The pass's findings for one peer (peer-local by construction).
+
+    Exposed separately so the lint cache can reuse per-peer results:
+    every check here reads only the peer's own rules.
+    """
+    out: list[Diagnostic] = []
+    inserts = {r.target: r for r in peer.rules_of_kind(RuleKind.INSERT)}
+    deletes = {r.target: r for r in peer.rules_of_kind(RuleKind.DELETE)}
+    for rule in peer.rules:
+        _check_dead(peer.name, rule, out)
+        _check_shadowed_disjuncts(peer.name, rule, out)
+    for target in sorted(set(inserts) & set(deletes)):
+        _check_insert_delete(peer.name, inserts[target],
+                             deletes[target], out)
+    return out
+
+
 def rules_pass(ctx: AnalysisContext) -> list[Diagnostic]:
     out: list[Diagnostic] = []
     for peer in ctx.composition.peers:
-        inserts = {r.target: r for r in peer.rules_of_kind(RuleKind.INSERT)}
-        deletes = {r.target: r for r in peer.rules_of_kind(RuleKind.DELETE)}
-        for rule in peer.rules:
-            _check_dead(peer.name, rule, out)
-            _check_shadowed_disjuncts(peer.name, rule, out)
-        for target in sorted(set(inserts) & set(deletes)):
-            _check_insert_delete(peer.name, inserts[target],
-                                 deletes[target], out)
+        out.extend(peer_rules_diagnostics(peer))
     return out

@@ -1,15 +1,27 @@
 """SARIF 2.1.0 output for ``repro lint``.
 
-Emits the minimal static-analysis interchange document that GitHub code
-scanning and SARIF viewers accept: one run, one driver
-(``repro-lint``), one reporting rule per DWV code actually used, and
-one result per diagnostic.  Peer/rule paths are carried as logical
+Emits the static-analysis interchange document that GitHub code
+scanning and SARIF viewers accept: one driver (``repro-lint``) carrying
+the *full* DWV rule catalog (stable rule indices across runs, and the
+new DWV5xx/6xx families are discoverable even before they ever fire),
+and one result per diagnostic.  Peer/rule paths are carried as logical
 locations (``.dws`` documents have no stable line numbers after
 continuation joining, so physical regions are limited to the artifact).
+
+Each result carries a stable ``partialFingerprints`` entry hashed from
+the code, the peer, and the subject -- the identity GitHub code
+scanning uses to deduplicate findings across runs, chosen so that
+reordering diagnostics, editing unrelated peers, or rewording a message
+does not resurrect a dismissed alert.
+
+:func:`sarif_document` emits one document with multiple runs (one per
+linted target), the shape ``repro lint a.dws b.dws --format sarif``
+uploads as a single artifact.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Sequence
 
@@ -27,6 +39,10 @@ _LEVEL = {
     Severity.NOTE: "note",
 }
 
+#: Stable rule order: the full catalog, sorted by code.
+_CATALOG = tuple(sorted(CODES))
+_RULE_INDEX = {code: i for i, code in enumerate(_CATALOG)}
+
 
 def _rule(code: str) -> dict:
     info = CODES[code]
@@ -41,16 +57,27 @@ def _rule(code: str) -> dict:
     return rule
 
 
-def _result(diag: Diagnostic, rule_index: dict[str, int],
-            artifact_uri: str | None) -> dict:
+def fingerprint(diag: Diagnostic) -> str:
+    """The stable result identity: code + peer + subject, hashed."""
+    h = hashlib.sha256()
+    for part in (diag.code, diag.peer or "", diag.subject):
+        h.update(part.encode("utf-8", "surrogatepass"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _result(diag: Diagnostic, artifact_uri: str | None) -> dict:
     text = diag.message
     if diag.subject:
         text += f": {diag.subject}"
     result: dict = {
         "ruleId": diag.code,
-        "ruleIndex": rule_index[diag.code],
+        "ruleIndex": _RULE_INDEX[diag.code],
         "level": _LEVEL[diag.severity],
         "message": {"text": text},
+        "partialFingerprints": {
+            "reproLint/v1": fingerprint(diag),
+        },
     }
     location: dict = {}
     if artifact_uri:
@@ -71,34 +98,51 @@ def _result(diag: Diagnostic, rule_index: dict[str, int],
         location["logicalLocations"] = logical
     if location:
         result["locations"] = [location]
+    properties: dict = {}
     if diag.hint:
-        result.setdefault("properties", {})["hint"] = diag.hint
+        properties["hint"] = diag.hint
+    if diag.provenance:
+        properties["provenance"] = list(diag.provenance)
+    if properties:
+        result["properties"] = properties
     return result
 
 
-def to_sarif(diagnostics: Sequence[Diagnostic],
-             artifact_uri: str | None = None) -> str:
-    """Render *diagnostics* as a SARIF 2.1.0 JSON document."""
+def _run(diagnostics: Sequence[Diagnostic],
+         artifact_uri: str | None = None) -> dict:
     ordered = sorted(diagnostics, key=sort_key)
-    used_codes = sorted({d.code for d in ordered})
-    rule_index = {code: i for i, code in enumerate(used_codes)}
     run: dict = {
         "tool": {
             "driver": {
                 "name": "repro-lint",
                 "informationUri":
                     "https://doi.org/10.1145/1142351.1142364",
-                "rules": [_rule(code) for code in used_codes],
+                "rules": [_rule(code) for code in _CATALOG],
             },
         },
-        "results": [
-            _result(d, rule_index, artifact_uri) for d in ordered
-        ],
+        "results": [_result(d, artifact_uri) for d in ordered],
     }
     if artifact_uri:
         run["artifacts"] = [{"location": {"uri": artifact_uri}}]
+    return run
+
+
+def sarif_document(
+    entries: Sequence[tuple[Sequence[Diagnostic], str | None]],
+) -> str:
+    """One SARIF document with one run per ``(diagnostics, uri)`` entry."""
     return json.dumps({
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
-        "runs": [run],
+        "runs": [_run(diags, uri) for diags, uri in entries],
     }, indent=2)
+
+
+def to_sarif(diagnostics: Sequence[Diagnostic],
+             artifact_uri: str | None = None) -> str:
+    """Render *diagnostics* as a single-run SARIF 2.1.0 document."""
+    return sarif_document([(diagnostics, artifact_uri)])
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "fingerprint",
+           "sarif_document", "to_sarif"]

@@ -276,7 +276,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
 def cmd_check(args: argparse.Namespace) -> int:
     composition, _databases, _properties = _load(args.spec)
     violations = check_composition(composition)
-    print(summarize(violations))
+    print(summarize(violations, composition))
     _write_metrics_json(args.metrics_json, "check", [{
         "spec": args.spec,
         "violations": [str(v) for v in violations],
@@ -284,49 +284,80 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if not violations else 1
 
 
-def cmd_lint(args: argparse.Namespace) -> int:
+def _lint_one(target: str, semantics, cache):
+    """Lint one target: ``(report, artifact_uri)``.
+
+    *target* is a library example name or a ``.dws`` path; *cache* is a
+    :class:`~repro.analysis.cache.LintCache` or None (cold run).
+    """
     from .analysis import (
-        count_by_severity, lint_composition, lint_text, render_report,
-        to_json, to_sarif, Severity,
+        lint_cached, lint_cached_composition, lint_composition, lint_text,
     )
     from .ltlfo.parser import parse_ltlfo
 
-    target = args.spec
-    semantics = _semantics(args)
     if target in PROFILE_LIBRARIES:
         composition, _databases, properties, _candidates = (
             _library_target(target)
         )
+        if cache is not None:
+            return (lint_cached_composition(
+                composition, properties, semantics, cache=cache), None)
         sentences = {
             name: (parse_ltlfo(prop, composition.schema)
                    if isinstance(prop, str) else prop)
             for name, prop in properties.items()
         }
-        report = lint_composition(composition, sentences, semantics)
-        artifact = None
-    else:
-        if not Path(target).is_file():
-            raise ReproError(
-                f"lint target {target!r} is neither a spec file nor a "
-                f"library example ({', '.join(PROFILE_LIBRARIES)})"
-            )
-        report = lint_text(Path(target).read_text(), semantics=semantics)
-        artifact = target
+        return lint_composition(composition, sentences, semantics), None
+    if not Path(target).is_file():
+        raise ReproError(
+            f"lint target {target!r} is neither a spec file nor a "
+            f"library example ({', '.join(PROFILE_LIBRARIES)})"
+        )
+    text = Path(target).read_text()
+    if cache is not None:
+        return lint_cached(text, semantics=semantics, cache=cache), target
+    return lint_text(text, semantics=semantics), target
 
-    counts = count_by_severity(report.diagnostics)
-    classifications = {
-        name: c.describe()
-        for name, c in report.classifications.items()
-    }
-    if args.format == "sarif":
-        rendered = to_sarif(report.diagnostics, artifact_uri=artifact)
-    elif args.format == "json":
-        rendered = to_json(report.diagnostics, extra={
-            "target": target,
-            "passes": report.passes_run,
-            "classifications": classifications,
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        LintCache, count_by_severity, render_github, render_report,
+        sarif_document, to_json, Severity,
+    )
+
+    targets = list(args.spec)
+    semantics = _semantics(args)
+    cache = LintCache(args.cache_dir) if args.cache else None
+
+    entries = []           # (target, report, artifact_uri)
+    statuses: list[int] = []
+    metrics = []
+    for target in targets:
+        try:
+            report, artifact = _lint_one(target, semantics, cache)
+        except ReproError as err:
+            if len(targets) == 1:
+                raise
+            print(f"repro lint: {target}: {err}", file=sys.stderr)
+            statuses.append(2)
+            continue
+        entries.append((target, report, artifact))
+        metrics.append({
+            "target": target, "counts": count_by_severity(report.diagnostics),
+            "codes": report.codes(), "passes": report.passes_run,
         })
-    else:
+        failing = report.has_errors or (
+            args.strict and any(d.severity is Severity.WARNING
+                                for d in report.diagnostics)
+        )
+        statuses.append(1 if failing else 0)
+
+    def text_section(target, report):
+        counts = count_by_severity(report.diagnostics)
+        classifications = {
+            name: c.describe()
+            for name, c in report.classifications.items()
+        }
         lines = [render_report(report.diagnostics)]
         lines.append(
             f"{counts['error']} error(s), {counts['warning']} "
@@ -335,22 +366,58 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         for name, described in sorted(classifications.items()):
             lines.append(f"{name}: {described}")
-        rendered = "\n".join(lines)
+        return "\n".join(lines)
+
+    def json_payload(target, report):
+        classifications = {
+            name: c.describe()
+            for name, c in report.classifications.items()
+        }
+        return to_json(report.diagnostics, extra={
+            "target": target,
+            "passes": report.passes_run,
+            "classifications": classifications,
+            "cost_hints": dict(report.cost_hints),
+        })
+
+    if args.format == "sarif":
+        rendered = sarif_document(
+            [(report.diagnostics, artifact)
+             for _target, report, artifact in entries])
+    elif args.format == "json":
+        if len(targets) == 1 and entries:
+            rendered = json_payload(*entries[0][:2])
+        else:
+            rendered = json.dumps({
+                "schema": "repro.lint/1",
+                "targets": [json.loads(json_payload(target, report))
+                            for target, report, _artifact in entries],
+            }, indent=2)
+    elif args.format == "github":
+        rendered = "\n".join(
+            part for part in
+            (render_github(report.diagnostics)
+             for _target, report, _artifact in entries)
+            if part
+        )
+    else:
+        sections = []
+        for target, report, _artifact in entries:
+            body = text_section(target, report)
+            if len(targets) > 1:
+                body = f"== {target} ==\n{body}"
+            sections.append(body)
+        rendered = "\n\n".join(sections)
 
     if args.output:
         Path(args.output).write_text(rendered + "\n")
     else:
         print(rendered)
+    if cache is not None:
+        print(cache.stats_line(), file=sys.stderr)
 
-    _write_metrics_json(args.metrics_json, "lint", [{
-        "target": target, "counts": counts,
-        "codes": report.codes(), "passes": report.passes_run,
-    }])
-    failing = report.has_errors or (
-        args.strict and any(d.severity is Severity.WARNING
-                            for d in report.diagnostics)
-    )
-    return 1 if failing else 0
+    _write_metrics_json(args.metrics_json, "lint", metrics)
+    return max(statuses, default=0)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -627,6 +694,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     report = fuzz(
         count=args.count, seed=seed, rows=rows,
         corpus_dir=args.corpus,
+        emit_dir=args.emit_corpus,
         log=lambda msg: print(msg, file=sys.stderr),
     )
     print(report.summary())
@@ -640,6 +708,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             for o in report.failures
         ],
         "corpus_files": report.corpus_files,
+        "emitted_files": report.emitted_files,
     }])
     return 0 if report.ok else 1
 
@@ -927,16 +996,34 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="run the static analyzer and decidability classifier",
     )
-    common(p_lint,
-           spec_help="path to a .dws specification, or a library "
-                     f"example ({', '.join(PROFILE_LIBRARIES)})")
-    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+    # like common(), but lint accepts several targets in one run
+    p_lint.add_argument("spec", nargs="+",
+                        help="paths to .dws specifications, or library "
+                             f"examples ({', '.join(PROFILE_LIBRARIES)})")
+    p_lint.add_argument("--perfect", action="store_true",
+                        help="perfect channels (default: lossy)")
+    p_lint.add_argument("--queue-bound", type=int, default=1,
+                        help="queue capacity k (default 1)")
+    p_lint.add_argument("--fresh", type=int, default=None,
+                        help="override the number of fresh domain values")
+    _add_obs_options(p_lint)
+    p_lint.add_argument("--format",
+                        choices=("text", "json", "sarif", "github"),
                         default="text",
-                        help="report format (default: text)")
+                        help="report format (default: text); 'github' "
+                             "emits Actions ::warning/::error annotations")
     p_lint.add_argument("--output", metavar="FILE", default=None,
                         help="write the report to FILE instead of stdout")
     p_lint.add_argument("--strict", action="store_true",
                         help="exit 1 on warnings too, not just errors")
+    p_lint.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="serve unchanged documents/peers from the "
+                             "content-addressed lint cache")
+    p_lint.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache root (default: $REPRO_LINT_CACHE_DIR, "
+                             "$REPRO_RUN_DIR/lint-cache, or "
+                             "~/.cache/repro/lint)")
     p_lint.set_defaults(func=cmd_lint)
 
     p_sim = sub.add_parser("simulate", help="print one random run")
@@ -983,6 +1070,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--corpus", metavar="DIR", default=None,
                         help="persist minimized failing cases as "
                              "replayable .dws files under DIR")
+    p_fuzz.add_argument("--emit-corpus", metavar="DIR", default=None,
+                        dest="emit_corpus",
+                        help="write every generated spec (passing or "
+                             "not) as a .dws file under DIR, e.g. to "
+                             "lint the corpus afterwards")
     _add_obs_options(p_fuzz)
     p_fuzz.set_defaults(func=cmd_fuzz)
 

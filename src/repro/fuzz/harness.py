@@ -85,6 +85,7 @@ class FuzzReport:
     rows: tuple[str, ...]
     outcomes: list[CaseOutcome] = field(default_factory=list)
     corpus_files: list[str] = field(default_factory=list)
+    emitted_files: list[str] = field(default_factory=list)
 
     @property
     def failures(self) -> list[CaseOutcome]:
@@ -101,6 +102,9 @@ class FuzzReport:
                 f"{verified} verified end-to-end; "
                 f"{len(self.failures)} oracle violation(s)")
         lines = [head]
+        if self.emitted_files:
+            lines.append(
+                f"  {len(self.emitted_files)} spec(s) emitted to corpus")
         for outcome in self.failures:
             for violation in outcome.violations:
                 lines.append(
@@ -329,6 +333,7 @@ def fuzz(count: int = 25,
          seed: int = 0,
          rows: Sequence[str] = ("3.4",),
          corpus_dir: str | Path | None = None,
+         emit_dir: str | Path | None = None,
          verify_hook: VerifyHook = verify,
          log: Callable[[str], None] | None = None) -> FuzzReport:
     """Run a fuzz campaign: *count* cases round-robin over *rows*.
@@ -337,26 +342,35 @@ def fuzz(count: int = 25,
     campaign is fully replayable from ``(seed, count, rows)`` and any
     single case from the seed recorded in its corpus header.  Failing
     cases are shrunk and persisted under *corpus_dir* (when given) as
-    replayable ``.dws`` files.
+    replayable ``.dws`` files; *emit_dir* (when given) receives *every*
+    generated spec, passing or not -- the corpus ``repro lint --cache``
+    runs over in CI.
     """
     report = FuzzReport(seed=seed, count=count, rows=tuple(rows))
     progress = campaign_progress(count)
     progress.set_info(seed=seed, rows="/".join(rows))
     try:
-        _fuzz_loop(report, count, seed, corpus_dir, verify_hook, log,
-                   progress)
+        _fuzz_loop(report, count, seed, corpus_dir, emit_dir,
+                   verify_hook, log, progress)
     finally:
         progress.finish()
     return report
 
 
 def _fuzz_loop(report: FuzzReport, count: int, seed: int,
-               corpus_dir, verify_hook, log, progress) -> None:
+               corpus_dir, emit_dir, verify_hook, log, progress) -> None:
     for i in range(count):
         row = report.rows[i % len(report.rows)]
         case_seed = seed * 1_000_003 + i
         instant("fuzz-case", index=i, seed=case_seed, row=row)
         spec = generate(case_seed, row)
+        if emit_dir is not None:
+            directory = Path(emit_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / (
+                f"gen_seed{case_seed}_row{row.replace('.', '_')}.dws")
+            path.write_text(spec.to_dws())
+            report.emitted_files.append(str(path))
         outcome = run_case(spec, verify_hook=verify_hook)
         report.outcomes.append(outcome)
         progress.advance(

@@ -99,6 +99,8 @@ def _check_quantifier(node: fo.Exists | fo.Forall, schema: Schema,
                 "universal quantifier must have the guarded form "
                 "forall x̄ (alpha -> phi)",
                 code="DWV002",
+                relations=tuple(sorted(
+                    {a.rel for a in fo.atoms(node.body)})),
             ))
             return
         candidates = _flatten_conj(node.body.antecedent)
@@ -117,6 +119,8 @@ def _check_quantifier(node: fo.Exists | fo.Forall, schema: Schema,
             "no input/prev-input/flat-queue guard atom covers the "
             f"quantified variables {sorted(quantified)}",
             code="DWV001",
+            relations=tuple(sorted(
+                {a.rel for a in fo.atoms(node.body)})),
         ))
         return
 
@@ -134,6 +138,7 @@ def _check_quantifier(node: fo.Exists | fo.Forall, schema: Schema,
                 f"quantified variables {sorted(clash)} occur in "
                 f"{sym.kind.value} atom {sub}",
                 code="DWV003",
+                relations=(sub.rel,),
             ))
 
 
@@ -157,6 +162,8 @@ def check_exists_star_rule(rule: Rule, schema: Schema,
             where, str(rule.body),
             "input rules and flat-send rules must be exists* FO",
             code="DWV004",
+            relations=tuple(sorted(
+                {a.rel for a in fo.atoms(rule.body)})),
         ))
     for a in fo.atoms(rule.body):
         sym = schema.get(a.rel)
@@ -170,6 +177,7 @@ def check_exists_star_rule(rule: Rule, schema: Schema,
                 f"{sym.kind.value} atom must be ground in input/flat-send "
                 "rules",
                 code="DWV005",
+                relations=(a.rel,),
             ))
     return out
 

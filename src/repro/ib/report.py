@@ -24,13 +24,17 @@ class Violation:
     ``where`` locates the problem (peer/rule/property), ``formula`` is the
     offending (sub)formula rendered as text, ``reason`` explains which part
     of the Section 3.1 definition is violated, and ``code`` is the stable
-    ``DWV0xx`` diagnostic code for that condition.
+    ``DWV0xx`` diagnostic code for that condition.  ``relations`` names
+    the relations implicated by the violation (guard candidates or the
+    clashing atoms' relations) so the provenance analysis can attach an
+    origin chain to the diagnostic.
     """
 
     where: str
     formula: str
     reason: str
     code: str = DEFAULT_CODE
+    relations: tuple[str, ...] = ()
 
     def as_diagnostic(self) -> Diagnostic:
         """This violation as a structured analyzer diagnostic."""
@@ -55,12 +59,22 @@ def violations_to_diagnostics(violations: list[Violation]
     return [v.as_diagnostic() for v in violations]
 
 
-def summarize(violations: list[Violation]) -> str:
+def summarize(violations: list[Violation],
+              composition=None) -> str:
     """A multi-line report, one code-prefixed violation per entry.
 
     This is the exact rendering ``repro lint`` uses for the same
-    findings, so the two commands stay textually consistent.
+    findings, so the two commands stay textually consistent.  With
+    *composition*, each violation additionally carries the same
+    provenance explanation the lint ib pass attaches (lazy import:
+    the analysis package imports this module).
     """
     if not violations:
         return "input-bounded: no violations"
-    return "\n".join(v.as_diagnostic().render() for v in violations)
+    if composition is None:
+        return "\n".join(v.as_diagnostic().render() for v in violations)
+    from ..analysis.ib_pass import attach_provenance
+    from ..analysis.provenance import compute_provenance
+    facts = compute_provenance(composition)
+    return "\n".join(attach_provenance(composition, facts, v).render()
+                     for v in violations)

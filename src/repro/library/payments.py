@@ -95,6 +95,56 @@ def payments_composition() -> Composition:
     return Composition([shop_peer(), psp_peer(), bank_peer()])
 
 
+def deadlocked_payments_composition() -> Composition:
+    """The seeded deadlock mutant (the DWV501 regression target).
+
+    One plausible-looking edit breaks the flow: the shop now waits for
+    a delivery acknowledgment before charging, while the PSP only acks
+    orders it has been charged for::
+
+        Shop: charge(x) <- pay(x) & ?ack(x)
+        PSP:  ack(x)    <- ?charge(x)
+
+    ``charge`` waits for ``ack`` and ``ack`` waits for ``charge``; no
+    producer of either channel can fire until the other delivers, so
+    neither queue is ever non-empty -- a static deadlock the flow pass
+    must flag (and the verifier would only surface as a vacuous sweep).
+    """
+    shop = (
+        PeerBuilder("Shop")
+        .database("goods", 1)
+        .input("pay", 1)
+        .state("captured", 1)
+        .state("refunded", 1)
+        .action("refund", 1)
+        .state("checkedOut", 0)
+        .flat_in_queue("approved", 1)
+        .flat_in_queue("disputed", 1)
+        .flat_in_queue("ack", 1)
+        .flat_out_queue("charge", 1)
+        .input_rule("pay", ["x"], "goods(x) & ~checkedOut")
+        .insert_rule("checkedOut", [], "exists x: pay(x)")
+        .send_rule("charge", ["x"], "pay(x) & ?ack(x)")
+        .insert_rule("captured", ["x"], "?approved(x)")
+        .insert_rule("refunded", ["x"], "?disputed(x)")
+        .action_rule("refund", ["x"], "?disputed(x)")
+        .build()
+    )
+    psp = (
+        PeerBuilder("PSP")
+        .database("clears", 1)
+        .flat_in_queue("charge", 1)
+        .flat_out_queue("approved", 1)
+        .flat_out_queue("settle", 1)
+        .flat_out_queue("ack", 1)
+        .send_rule("approved", ["x"], "?charge(x) & clears(x)")
+        .send_rule("settle", ["x"], "?charge(x) & clears(x)")
+        .send_rule("ack", ["x"], "?charge(x)")
+        .build()
+    )
+    return Composition([shop, psp, bank_peer()])
+
+
 def standard_database() -> dict[str, Instance]:
     """Two goods; both clear, only ``g2`` is risky (the chargeback)."""
     return {

@@ -7,6 +7,9 @@ from .channels import (
 from .rules import Rule, RuleKind, rename_formula_relations
 from .peer import Peer, PeerBuilder
 from .composition import Channel, Composition
+from .commgraph import (
+    CommEdge, CommGraph, QueueNode, RuleNode, build_comm_graph,
+)
 from .validate import validate_rule_vocabulary
 from .dsl import (
     load, load_composition, load_databases, load_document,
@@ -14,10 +17,11 @@ from .dsl import (
 )
 
 __all__ = [
-    "Channel", "ChannelSemantics", "Composition", "DECIDABLE_DEFAULT",
-    "DECIDABLE_FAITHFUL", "DETERMINISTIC_LOSSY", "FlatSendDiscipline",
-    "NestedEmptySend", "PERFECT_BOUNDED", "Peer", "PeerBuilder", "Rule",
-    "RuleKind", "load", "load_composition", "load_databases",
+    "Channel", "ChannelSemantics", "CommEdge", "CommGraph", "Composition",
+    "DECIDABLE_DEFAULT", "DECIDABLE_FAITHFUL", "DETERMINISTIC_LOSSY",
+    "FlatSendDiscipline", "NestedEmptySend", "PERFECT_BOUNDED", "Peer",
+    "PeerBuilder", "QueueNode", "Rule", "RuleKind", "RuleNode",
+    "build_comm_graph", "load", "load_composition", "load_databases",
     "load_document", "load_properties",
     "rename_formula_relations", "validate_rule_vocabulary",
 ]

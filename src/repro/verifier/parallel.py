@@ -544,7 +544,9 @@ def _cancelled_outcome(task: SweepTask) -> TaskOutcome:
 
 
 def plan_batches(ordered: Sequence[SweepTask],
-                 workers: int) -> list[tuple[SweepTask, ...]]:
+                 workers: int,
+                 cost_hints: dict[tuple[int, int], float] | None = None,
+                 ) -> list[tuple[SweepTask, ...]]:
     """Chunk the ordered task grid into steal units.
 
     Batches never span a (group, ctx) boundary -- a batch is a
@@ -553,16 +555,32 @@ def plan_batches(ordered: Sequence[SweepTask],
     caches.  The chunk size targets ``STEAL_BATCHES_PER_WORKER``
     batches per worker: coarse enough to amortize queue traffic, fine
     enough that stealing can rebalance a skewed grid.
+
+    *cost_hints* (from :func:`repro.analysis.cost.sweep_cost_hints`)
+    optionally weight the size per ``(group, ctx)`` cell: cells with
+    above-mean static cost get proportionally smaller batches (finer
+    stealing where tasks run long), cheaper cells bigger ones.  Hints
+    only rescale the deterministic base size -- batch boundaries remain
+    a pure function of the ordered grid, so results stay bit-for-bit
+    identical with and without hints.
     """
     if not ordered:
         return []
     size = max(1, -(-len(ordered) // (workers * STEAL_BATCHES_PER_WORKER)))
+    sizes: dict[tuple[int, int], int] = {}
+    if cost_hints:
+        weights = {k: w for k, w in cost_hints.items() if w > 0}
+        if weights:
+            mean = sum(weights.values()) / len(weights)
+            for key, weight in weights.items():
+                sizes[key] = max(1, min(
+                    len(ordered), round(size * mean / weight)))
     batches: list[tuple[SweepTask, ...]] = []
     run: list[SweepTask] = []
     run_key = None
     for task in ordered:
         key = (task.group, task.ctx)
-        if run and (key != run_key or len(run) >= size):
+        if run and (key != run_key or len(run) >= sizes.get(key, size)):
             batches.append(tuple(run))
             run = []
         run_key = key
@@ -770,7 +788,12 @@ def _run_sweep_pool(payload: SweepPayload, payload_bytes: bytes,
     serializes on the driver loop.
     """
     ordered = sorted(tasks, key=lambda t: (t.group, t.order))
-    batches = plan_batches(ordered, workers)
+    try:
+        from ..analysis.cost import sweep_cost_hints
+        cost_hints = sweep_cost_hints(payload)
+    except Exception:
+        cost_hints = None  # hints are advisory; never fail the sweep
+    batches = plan_batches(ordered, workers, cost_hints)
     n_workers = min(workers, len(batches))
     n_groups = max(t.group for t in ordered) + 1
     ctx = _mp_context()

@@ -79,7 +79,8 @@ class TestLibraryGolden:
         report = lint_composition(composition)
         assert errors_of(report) == []
         assert report.passes_run == [
-            "ib", "rules", "reachability", "channels", "decidability",
+            "ib", "rules", "reachability", "channels",
+            "flow", "provenance", "cost", "decidability",
         ]
 
     def test_loan_flat_db_join_is_noted(self):
@@ -435,7 +436,8 @@ class TestClassifier:
 class TestCheckLintConsistency:
     def test_summarize_matches_lint_rendering(self):
         comp = load_composition(NON_IB)
-        check_lines = summarize(check_composition(comp)).splitlines()
+        check_lines = summarize(check_composition(comp),
+                                comp).splitlines()
         report = lint_text(NON_IB)
         lint_lines = [
             line

@@ -1,0 +1,139 @@
+"""Tests for the DWV5xx communication-flow pass (analysis.flow).
+
+Golden seeded-defect specs for every code in the family, plus the
+negative control: all shipped library domains are flow-clean.
+"""
+
+import pytest
+
+from repro.analysis import lint_composition, lint_text
+from repro.spec import build_comm_graph
+
+#: Live producer, consumers present, but every consuming rule is dead.
+ORPHAN_SPEC = """
+peer A {
+    database items/1
+    input go/1
+    out flat m/1
+    input go(x) <- items(x)
+    send m(x) <- go(x)
+}
+peer B {
+    state got/1
+    state blocked/1
+    in flat m/1
+    insert got(x) <- ?m(x) & blocked(x)
+}
+"""
+
+#: A multi-hop relay chain whose tail is never observed: every message
+#: beyond the queue bound is silently dropped.
+DROPPED_CHAIN_SPEC = """
+peer A {
+    database items/1
+    input go/1
+    out flat m1/1
+    input go(x) <- items(x)
+    send m1(x) <- go(x)
+}
+peer B {
+    in flat m1/1
+    out flat m2/1
+    send m2(x) <- ?m1(x)
+}
+peer C {
+    state s/0
+    input ping/0
+    in flat m2/1
+    input ping <- true
+    insert s <- ping
+}
+"""
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestDeadlockDetector:
+    def test_seeded_payments_deadlock_flags_dwv501(self):
+        from repro.library.payments import deadlocked_payments_composition
+
+        report = lint_composition(deadlocked_payments_composition())
+        found = codes(report)
+        assert "DWV501" in found
+        [diag] = [d for d in report.diagnostics if d.code == "DWV501"]
+        assert diag.subject == "cycle ack -> charge"
+        # the deadlock must not cascade into orphan/dropped findings
+        assert "DWV502" not in found
+        assert "DWV503" not in found
+
+    def test_healthy_payments_is_flow_clean(self):
+        from repro.library.payments import payments_composition
+
+        report = lint_composition(payments_composition())
+        assert not {c for c in codes(report) if c.startswith("DWV5")}
+
+
+class TestOrphanFlows:
+    def test_dead_consumer_flags_dwv502(self):
+        report = lint_text(ORPHAN_SPEC)
+        assert "DWV502" in codes(report)
+        [diag] = [d for d in report.diagnostics if d.code == "DWV502"]
+        assert diag.where == "channel m"
+        assert "insert rule for got" in diag.subject
+
+    def test_no_consumer_at_all_is_dwv307_not_dwv502(self):
+        report = lint_text(DROPPED_CHAIN_SPEC)
+        found = codes(report)
+        assert "DWV307" in found      # m2 declared, never read
+        assert "DWV502" not in found  # that case belongs to DWV307
+
+
+class TestDroppedChains:
+    def test_unobserved_relay_chain_flags_dwv503(self):
+        report = lint_text(DROPPED_CHAIN_SPEC)
+        [diag] = [d for d in report.diagnostics if d.code == "DWV503"]
+        assert diag.where == "channel m1"
+        assert diag.subject == "chain m1 -> m2"
+        assert any("relayed by" in line for line in diag.provenance)
+
+    def test_observed_relay_chain_is_clean(self):
+        observed = DROPPED_CHAIN_SPEC.replace(
+            "    state s/0\n",
+            "    state s/0\n    state seen/1\n",
+        ).replace(
+            "    insert s <- ping\n",
+            "    insert s <- ping\n    insert seen(x) <- ?m2(x)\n",
+        )
+        report = lint_text(observed)
+        assert "DWV503" not in codes(report)
+
+
+@pytest.mark.parametrize("library,factory", [
+    ("loan", "loan_composition"),
+    ("credit", "credit_check_composition"),
+    ("ecommerce", "ecommerce_composition"),
+    ("travel", "travel_composition"),
+    ("payments", "payments_composition"),
+    ("dispatch", "dispatch_composition"),
+])
+def test_shipped_domains_have_no_flow_or_provenance_findings(
+        library, factory):
+    module = "loan" if library == "credit" else library
+    import importlib
+    mod = importlib.import_module(f"repro.library.{module}")
+    report = lint_composition(getattr(mod, factory)())
+    noisy = {c for c in codes(report)
+             if c.startswith("DWV5") or c.startswith("DWV6")}
+    assert not noisy, f"{library}: unexpected findings {sorted(noisy)}"
+
+
+def test_comm_graph_wires_channels_to_rules():
+    from repro.library.payments import payments_composition
+
+    graph = build_comm_graph(payments_composition())
+    producers = {n.peer for n in graph.producers("charge")}
+    consumers = {n.peer for n in graph.consumers("charge")}
+    assert producers == {"Shop"}
+    assert "PSP" in consumers

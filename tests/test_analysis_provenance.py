@@ -1,0 +1,124 @@
+"""Tests for the DWV6xx data-provenance pass and the provenance
+explanations attached to input-boundedness errors."""
+
+import json
+
+from repro.analysis import lint_text, to_json, to_sarif
+from repro.spec import load_composition
+
+#: Sender invents the payload (head var bound by nothing); the receiver
+#: uses the queue as a quantifier guard -- the cross-peer ib break.
+INVENTED_GUARD_SPEC = """
+peer A {
+    input go/0
+    out flat token/1
+    input go <- true
+    send token(y) <- go
+}
+peer B {
+    state seen/1
+    state ok/0
+    in flat token/1
+    insert ok <- exists x. (?token(x) & ~seen(x))
+    insert seen(x) <- ?token(x)
+}
+"""
+
+#: Same inventing sender, but the receiver never guards on the queue:
+#: a note (DWV602), not a warning.
+INVENTED_UNGUARDED_SPEC = """
+peer A {
+    input go/0
+    out flat token/1
+    input go <- true
+    send token(y) <- go
+}
+peer B {
+    state seen/1
+    in flat token/1
+    insert seen(x) <- ?token(x)
+}
+"""
+
+#: A local DWV001: quantifier guarded only by a state relation.
+IB_ERROR_SPEC = """
+peer P {
+    database d/2
+    state s/1
+    state t/1
+    input go/1
+    input go(x) <- d(x, x)
+    insert s(x) <- go(x)
+    insert t(x) <- go(x) & exists y. (s(y))
+}
+"""
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestInventedValues:
+    def test_invented_guard_flags_dwv601_with_witness(self):
+        report = lint_text(INVENTED_GUARD_SPEC)
+        [diag] = [d for d in report.diagnostics if d.code == "DWV601"]
+        assert diag.peer == "B"
+        # the explanation names the tag and walks back across the peer
+        # boundary to the inventing send rule
+        assert any("invented" in line for line in diag.provenance)
+        assert any("B.token receives from A.token" in line
+                   for line in diag.provenance)
+        assert any("head variable y" in line for line in diag.provenance)
+
+    def test_invented_payload_alone_is_a_note(self):
+        report = lint_text(INVENTED_UNGUARDED_SPEC)
+        found = codes(report)
+        assert "DWV602" in found
+        assert "DWV601" not in found
+
+    def test_bound_sender_is_clean(self):
+        bound = INVENTED_UNGUARDED_SPEC.replace(
+            "    input go/0\n", "    database items/1\n    input go/1\n",
+        ).replace(
+            "    input go <- true\n", "    input go(x) <- items(x)\n",
+        ).replace(
+            "    send token(y) <- go\n", "    send token(x) <- go(x)\n",
+        )
+        report = lint_text(bound)
+        assert not {c for c in codes(report) if c.startswith("DWV6")}
+
+
+class TestComputeProvenance:
+    def test_tags_flow_across_channels(self):
+        from repro.analysis import compute_provenance
+
+        facts = compute_provenance(load_composition(INVENTED_GUARD_SPEC))
+        assert "invented" in facts[("A", "token")]
+        assert "invented" in facts[("B", "token")]
+        assert facts[("B", "seen")] >= facts[("B", "token")]
+
+
+class TestIbErrorExplanations:
+    def test_text_render_carries_provenance(self):
+        report = lint_text(IB_ERROR_SPEC)
+        [diag] = [d for d in report.diagnostics if d.code == "DWV001"]
+        rendered = diag.render()
+        assert "provenance:" in rendered
+        assert "s: values may derive from" in rendered
+        assert any(line.startswith("repair: ")
+                   for line in diag.provenance)
+
+    def test_json_carries_provenance(self):
+        report = lint_text(IB_ERROR_SPEC)
+        payload = json.loads(to_json(report.diagnostics))
+        [entry] = [d for d in payload["diagnostics"]
+                   if d["code"] == "DWV001"]
+        assert entry["provenance"]
+
+    def test_sarif_carries_provenance(self):
+        report = lint_text(IB_ERROR_SPEC)
+        doc = json.loads(to_sarif(report.diagnostics))
+        [result] = [r for r in doc["runs"][0]["results"]
+                    if r["ruleId"] == "DWV001"]
+        assert result["properties"]["provenance"]
+        assert result["partialFingerprints"]["reproLint/v1"]

@@ -141,3 +141,89 @@ class TestVerifyPreflight:
     def test_verify_silent_when_decidable(self, clean_file, capsys):
         main(["verify", clean_file, "--property", "safety"])
         assert "warning" not in capsys.readouterr().err
+
+
+class TestMultiTarget:
+    def test_text_sections_per_target(self, clean_file, capsys):
+        assert main(["lint", clean_file, "loan"]) == 0
+        out = capsys.readouterr().out
+        assert f"== {clean_file} ==" in out
+        assert "== loan ==" in out
+
+    def test_json_wraps_targets(self, clean_file, capsys):
+        assert main(["lint", clean_file, "loan", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.lint/1"
+        assert [t["target"] for t in payload["targets"]] == \
+            [clean_file, "loan"]
+
+    def test_sarif_one_run_per_target(self, clean_file, capsys):
+        assert main(["lint", clean_file, "loan",
+                     "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["runs"]) == 2
+        for run in doc["runs"]:
+            for result in run["results"]:
+                assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_bad_target_does_not_mask_good_ones(self, clean_file, capsys):
+        assert main(["lint", clean_file, "no/such.dws"]) == 2
+        captured = capsys.readouterr()
+        assert "0 error(s)" in captured.out
+        assert "no/such.dws" in captured.err
+
+    def test_exit_is_max_over_targets(self, clean_file, defect_file,
+                                      capsys):
+        assert main(["lint", clean_file, defect_file]) == 1
+
+
+class TestGithubFormat:
+    def test_annotations_stream(self, defect_file, capsys):
+        assert main(["lint", defect_file, "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error title=DWV301::" in out
+
+    def test_clean_target_emits_notices_only(self, capsys):
+        assert main(["lint", "loan", "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert "::notice title=DWV401::" in out
+        assert "::error" not in out
+
+    def test_newlines_are_escaped(self, tmp_path, capsys):
+        path = tmp_path / "warn.dws"
+        path.write_text(CLEAN_SPEC)
+        main(["lint", str(path), "--format", "github"])
+        for line in capsys.readouterr().out.splitlines():
+            if line.startswith("::"):
+                assert "\n" not in line
+
+
+class TestCacheFlag:
+    def test_warm_run_is_byte_identical_and_all_hits(
+            self, clean_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["lint", clean_file, "--cache", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "doc-misses=1" in first.err
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "doc-hits=1" in second.err
+        assert "peer-misses=0" in second.err
+
+    def test_no_cache_is_the_default(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        assert "lint-cache:" not in capsys.readouterr().err
+
+    def test_cache_respects_semantics_flags(self, clean_file, tmp_path,
+                                            capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["lint", clean_file, "--cache", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        code = main(["lint", clean_file, "--perfect", "--cache",
+                     "--cache-dir", cache_dir])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "doc-misses=1" in captured.err
+        assert "Theorem 3.7" in captured.out
